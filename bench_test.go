@@ -1,0 +1,317 @@
+// Package repro holds the top-level benchmark harness: one benchmark per
+// table and figure of the paper's evaluation, plus ablations for the
+// design choices DESIGN.md calls out. Regenerate everything with
+//
+//	go test -bench=. -benchmem
+//
+// The Table benchmarks print the reproduced table once and report the
+// suite averages as benchmark metrics (pct_hidden_int, pct_hidden_fp,
+// inst_ratio_int, inst_ratio_fp).
+package repro
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"eel/internal/bench"
+	"eel/internal/core"
+	"eel/internal/eel"
+	"eel/internal/exe"
+	"eel/internal/pipe"
+	"eel/internal/qpt"
+	"eel/internal/sadl"
+	"eel/internal/sim"
+	"eel/internal/sparc"
+	"eel/internal/spawn"
+	"eel/internal/workload"
+)
+
+// benchInsts sizes each benchmark run; the experiments are ratio-based, so
+// modest runs suffice.
+const benchInsts = 200_000
+
+var printOnce sync.Map
+
+func runTable(b *testing.B, name string, cfg bench.TableConfig) {
+	b.Helper()
+	cfg.DynamicInsts = benchInsts
+	var tab *bench.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tab, err = bench.RunTable(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, done := printOnce.LoadOrStore(name, true); !done {
+		fmt.Fprintf(os.Stderr, "\n%s: %s\n", name, tab.String())
+	}
+	ii, _, ih, _ := tab.Averages(false)
+	fi, _, fh, _ := tab.Averages(true)
+	b.ReportMetric(ih, "pct_hidden_int")
+	b.ReportMetric(fh, "pct_hidden_fp")
+	b.ReportMetric(ii, "inst_ratio_int")
+	b.ReportMetric(fi, "inst_ratio_fp")
+}
+
+// BenchmarkTable1 reproduces Table 1: slow profiling on the UltraSPARC.
+func BenchmarkTable1(b *testing.B) {
+	runTable(b, "Table 1", bench.TableConfig{Machine: spawn.UltraSPARC})
+}
+
+// BenchmarkTable2 reproduces Table 2: slow profiling on the UltraSPARC
+// with the original instructions first rescheduled by EEL.
+func BenchmarkTable2(b *testing.B) {
+	runTable(b, "Table 2", bench.TableConfig{
+		Machine:            spawn.UltraSPARC,
+		RescheduleBaseline: true,
+	})
+}
+
+// BenchmarkTable3 reproduces Table 3: slow profiling on the SuperSPARC.
+func BenchmarkTable3(b *testing.B) {
+	runTable(b, "Table 3", bench.TableConfig{Machine: spawn.SuperSPARC})
+}
+
+// BenchmarkAblationAliasing measures the paper's memory-aliasing rule: how
+// much hiding is lost when instrumentation memory references conservatively
+// conflict with the original code's.
+func BenchmarkAblationAliasing(b *testing.B) {
+	runTable(b, "Ablation: conservative aliasing", bench.TableConfig{
+		Machine:    spawn.UltraSPARC,
+		Sched:      core.Options{ConservativeMem: true},
+		Benchmarks: []string{"130.li", "132.ijpeg", "101.tomcatv", "104.hydro2d"},
+	})
+}
+
+// BenchmarkAblationPriority flips the scheduler's priority function
+// (chain length before stalls).
+func BenchmarkAblationPriority(b *testing.B) {
+	runTable(b, "Ablation: chain-first priority", bench.TableConfig{
+		Machine:    spawn.UltraSPARC,
+		Sched:      core.Options{ChainFirst: true},
+		Benchmarks: []string{"130.li", "132.ijpeg", "101.tomcatv", "104.hydro2d"},
+	})
+}
+
+// BenchmarkAblationPlacement disables QPT2's placement optimization,
+// instrumenting every basic block.
+func BenchmarkAblationPlacement(b *testing.B) {
+	runTable(b, "Ablation: no placement optimization", bench.TableConfig{
+		Machine:             spawn.UltraSPARC,
+		DisablePlacementOpt: true,
+		Benchmarks:          []string{"130.li", "132.ijpeg", "101.tomcatv", "104.hydro2d"},
+	})
+}
+
+// BenchmarkICacheExpansion reproduces the §4.1 discussion (Lebeck & Wood):
+// growing the text by a factor E grows instruction-cache misses
+// super-linearly. It measures a large-text benchmark instrumented with and
+// without instrumentation and reports the miss-rate growth.
+func BenchmarkICacheExpansion(b *testing.B) {
+	machine := spawn.UltraSPARC
+	model := spawn.MustLoad(machine)
+	wb, _ := workload.ByName("126.gcc", machine)
+	var before, after float64
+	for i := 0; i < b.N; i++ {
+		x, err := workload.Generate(wb, workload.Config{Machine: machine, DynamicInsts: benchInsts})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := sim.DefaultTiming(machine)
+		_, t0, _, err := sim.RunMeasured(x, model, cfg, 1<<30)
+		if err != nil {
+			b.Fatal(err)
+		}
+		inst, err := instrumentScheduled(x, model)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, t1, _, err := sim.RunMeasured(inst, model, cfg, 1<<30)
+		if err != nil {
+			b.Fatal(err)
+		}
+		before = t0.ICache().MissRate()
+		after = t1.ICache().MissRate()
+		b.ReportMetric(float64(len(inst.Text))/float64(len(x.Text)), "text_expansion")
+	}
+	b.ReportMetric(before*100, "missrate_before_pct")
+	b.ReportMetric(after*100, "missrate_after_pct")
+}
+
+// BenchmarkSpawnAnalyze times the Spawn analysis of a full machine
+// description (Figure 1's description -> tables translation).
+func BenchmarkSpawnAnalyze(b *testing.B) {
+	src, err := os.ReadFile("internal/spawn/descriptions/ultrasparc.sadl")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := spawn.Analyze(spawn.UltraSPARC, string(src)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSADLParse times parsing alone.
+func BenchmarkSADLParse(b *testing.B) {
+	src, err := os.ReadFile("internal/spawn/descriptions/ultrasparc.sadl")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := sadl.Parse(string(src)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineStalls times the Appendix A computation on a realistic
+// instruction mix.
+func BenchmarkPipelineStalls(b *testing.B) {
+	model := spawn.MustLoad(spawn.UltraSPARC)
+	st := pipe.NewState(model)
+	seq := []sparc.Inst{
+		sparc.NewSethi(sparc.G1, 0x10000),
+		sparc.NewLoad(sparc.OpLd, sparc.G2, sparc.G1, 0x40),
+		sparc.NewALUImm(sparc.OpAdd, sparc.G2, sparc.G2, 1),
+		sparc.NewStore(sparc.OpSt, sparc.G2, sparc.G1, 0x40),
+		sparc.NewALU(sparc.OpFmuld, sparc.FReg(0), sparc.FReg(2), sparc.FReg(4)),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Reset()
+		for _, inst := range seq {
+			if _, _, err := st.Issue(inst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkScheduleBlock times the two-pass list scheduler on an
+// instrumented 16-instruction block.
+func BenchmarkScheduleBlock(b *testing.B) {
+	model := spawn.MustLoad(spawn.UltraSPARC)
+	s := core.New(model, core.Options{})
+	block, err := sparc.Assemble(`
+	ldd [%o0 + 0], %f0
+	ldd [%o0 + 8], %f2
+	fmuld %f0, %f4, %f6
+	faddd %f6, %f2, %f8
+	fmuld %f8, %f0, %f10
+	faddd %f10, %f2, %f12
+	std %f12, [%o1 + 0]
+	add %o0, 16, %o0
+	add %o1, 16, %o1
+	subcc %l0, 1, %l0
+	bne loop
+	nop
+loop:
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	counter := []sparc.Inst{
+		sparc.NewSethi(sparc.G6, 0x100000),
+		sparc.NewLoad(sparc.OpLd, sparc.G7, sparc.G6, 0x40),
+		sparc.NewALUImm(sparc.OpAdd, sparc.G7, sparc.G7, 1),
+		sparc.NewStore(sparc.OpSt, sparc.G7, sparc.G6, 0x40),
+	}
+	for i := range counter {
+		counter[i].Instrumented = true
+	}
+	full := append(counter, block...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ScheduleBlock(full); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterp measures functional simulation speed (instructions/sec).
+func BenchmarkInterp(b *testing.B) {
+	x := loopExe(b)
+	b.ResetTimer()
+	var steps uint64
+	for i := 0; i < b.N; i++ {
+		in, err := sim.NewInterp(x)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := in.Run(1<<30, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps += res.Steps
+	}
+	b.ReportMetric(float64(steps)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+// BenchmarkTimedSim measures simulation speed with the hardware timing
+// model attached.
+func BenchmarkTimedSim(b *testing.B) {
+	x := loopExe(b)
+	model := spawn.MustLoad(spawn.UltraSPARC)
+	cfg := sim.DefaultTiming(spawn.UltraSPARC)
+	b.ResetTimer()
+	var steps uint64
+	for i := 0; i < b.N; i++ {
+		_, tm, res, err := sim.RunMeasured(x, model, cfg, 1<<30)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = tm
+		steps += res.Steps
+	}
+	b.ReportMetric(float64(steps)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+func loopExe(b *testing.B) *exe.Exe {
+	b.Helper()
+	insts, err := sparc.Assemble(`
+	set 200000, %g2
+	mov 0, %g1
+loop:
+	add %g1, 1, %g1
+	ld [%o0], %g3
+	xor %g3, %g1, %g4
+	st %g4, [%o1]
+	cmp %g1, %g2
+	bne loop
+	nop
+	ta 0
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := exe.New()
+	for _, inst := range insts {
+		x.Text = append(x.Text, sparc.MustEncode(inst))
+	}
+	x.Data = make([]byte, 64)
+	// Point %o0/%o1 defaults (zero registers) at... the program uses %o0
+	// and %o1 as zero: loads from address 0 are legal in the sparse
+	// memory model.
+	return x
+}
+
+func instrumentScheduled(x *exe.Exe, model *spawn.Model) (*exe.Exe, error) {
+	return instrumentWith(x, model, true)
+}
+
+func instrumentWith(x *exe.Exe, model *spawn.Model, schedule bool) (*exe.Exe, error) {
+	ed, err := eel.Open(x)
+	if err != nil {
+		return nil, err
+	}
+	opts := eel.Options{}
+	if schedule {
+		opts.Machine = model
+		opts.Schedule = true
+	}
+	return ed.Edit(&qpt.SlowProfiler{}, opts)
+}

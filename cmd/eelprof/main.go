@@ -1,0 +1,119 @@
+// Command eelprof instruments an executable with QPT2 slow profiling, in
+// the manner of the paper's Figure 3:
+//
+//	eelprof -machine ultrasparc -o prog.prof prog.exe      # instrument + schedule
+//	eelprof -noschedule -o prog.prof prog.exe              # instrument only
+//	eelprof -reschedule -o prog.sched prog.exe             # reschedule only
+//	eelprof -run prog.exe                                  # run and report
+//
+// With -run the tool executes the (possibly instrumented) program on the
+// functional simulator with the machine's hardware timing model and prints
+// cycles, instructions and, for instrumented binaries produced in the same
+// invocation, the hottest basic blocks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"eel/internal/core"
+	"eel/internal/eel"
+	"eel/internal/exe"
+	"eel/internal/qpt"
+	"eel/internal/sim"
+	"eel/internal/spawn"
+)
+
+func main() {
+	var (
+		machine    = flag.String("machine", "ultrasparc", "scheduling/timing model")
+		out        = flag.String("o", "", "output executable path")
+		noSchedule = flag.Bool("noschedule", false, "insert instrumentation without scheduling")
+		reschedule = flag.Bool("reschedule", false, "reschedule only; no instrumentation")
+		run        = flag.Bool("run", false, "execute the result and report")
+		maxSteps   = flag.Uint64("maxsteps", 1<<30, "execution step limit with -run")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: eelprof [flags] executable")
+		os.Exit(2)
+	}
+
+	model, err := spawn.Load(spawn.Machine(*machine))
+	if err != nil {
+		fatal(err)
+	}
+	x, err := exe.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	ed, err := eel.Open(x)
+	if err != nil {
+		fatal(err)
+	}
+
+	var prof *qpt.SlowProfiler
+	result := x
+	switch {
+	case *reschedule:
+		result, err = ed.Reschedule(model, core.Options{})
+	default:
+		prof = &qpt.SlowProfiler{}
+		opts := eel.Options{}
+		if !*noSchedule {
+			opts.Machine = model
+			opts.Schedule = true
+		}
+		result, err = ed.Edit(prof, opts)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if *out != "" {
+		if err := result.WriteFile(*out); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "eelprof: wrote %s (%d -> %d instructions)\n",
+			*out, len(x.Text), len(result.Text))
+	}
+
+	if !*run {
+		return
+	}
+	in, tm, res, err := sim.RunMeasured(result, model, sim.DefaultTiming(spawn.Machine(*machine)), *maxSteps)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("halted=%v instructions=%d cycles=%d seconds=%.6f icache-miss=%.4f\n",
+		res.Halted, tm.Instructions(), tm.Cycles(), tm.Seconds(), tm.ICache().MissRate())
+	if prof != nil {
+		counts, err := prof.Counts(in.Mem().Read32)
+		if err != nil {
+			fatal(err)
+		}
+		type bc struct {
+			block int
+			n     uint64
+		}
+		var hot []bc
+		for b, n := range counts {
+			hot = append(hot, bc{b, n})
+		}
+		sort.Slice(hot, func(i, j int) bool { return hot[i].n > hot[j].n })
+		fmt.Println("hottest blocks:")
+		for i, h := range hot {
+			if i == 10 {
+				break
+			}
+			fmt.Printf("  block %4d: %12d executions\n", h.block, h.n)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "eelprof:", err)
+	os.Exit(1)
+}

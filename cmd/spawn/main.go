@@ -1,0 +1,75 @@
+// Command spawn translates a SADL microarchitecture description into Go
+// source containing the machine's timing tables and the pipeline_stalls
+// function — the role of the paper's Spawn tool (Figure 1).
+//
+// Usage:
+//
+//	spawn -machine ultrasparc -package ultrasparc -o tables.go
+//	spawn -sadl my.sadl -name mymachine -package mymachine -o tables.go
+//
+// With -o "-" (the default) the generated source is written to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"eel/internal/spawn"
+)
+
+func main() {
+	var (
+		machine  = flag.String("machine", "", "shipped machine description (hypersparc, supersparc, ultrasparc)")
+		sadl     = flag.String("sadl", "", "path to a SADL description (alternative to -machine)")
+		name     = flag.String("name", "custom", "machine name for a -sadl description")
+		pkg      = flag.String("package", "machine", "package name for the generated source")
+		out      = flag.String("o", "-", "output file, or - for stdout")
+		describe = flag.Bool("describe", false, "print a human-readable model summary instead of code")
+	)
+	flag.Parse()
+
+	var model *spawn.Model
+	var err error
+	switch {
+	case *machine != "" && *sadl != "":
+		fmt.Fprintln(os.Stderr, "spawn: -machine and -sadl are mutually exclusive")
+		os.Exit(2)
+	case *machine != "":
+		model, err = spawn.Load(spawn.Machine(*machine))
+	case *sadl != "":
+		var src []byte
+		src, err = os.ReadFile(*sadl)
+		if err == nil {
+			model, err = spawn.Analyze(spawn.Machine(*name), string(src))
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "spawn: one of -machine or -sadl is required")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *describe {
+		fmt.Print(model.Describe())
+		return
+	}
+
+	src, err := spawn.Generate(model, *pkg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *out == "-" {
+		fmt.Print(src)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(src), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "spawn: wrote %s (%d groups, %d units)\n",
+		*out, len(model.Groups), len(model.Units))
+}

@@ -1,0 +1,88 @@
+// Command tables regenerates the paper's evaluation tables:
+//
+//	tables -table 1      Table 1: slow profiling on the UltraSPARC
+//	tables -table 2      Table 2: same, with a rescheduled baseline
+//	tables -table 3      Table 3: slow profiling on the SuperSPARC
+//	tables -summary      the per-suite averages quoted in §1 and §5
+//	tables -table 1 -benchmarks 130.li,102.swim   (subset)
+//
+// -insts scales each benchmark's dynamic length (default 600k); larger
+// runs are slower but less noisy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"eel/internal/bench"
+	"eel/internal/spawn"
+)
+
+func main() {
+	var (
+		table      = flag.Int("table", 0, "table to regenerate (1, 2 or 3)")
+		summary    = flag.Bool("summary", false, "print the per-suite averages for all three tables")
+		insts      = flag.Uint64("insts", 600_000, "approximate dynamic instructions per run")
+		seed       = flag.Int64("seed", 0, "workload generation seed")
+		benchmarks = flag.String("benchmarks", "", "comma-separated benchmark subset")
+		validate   = flag.Bool("validate", false, "cross-check profile counts between runs")
+	)
+	flag.Parse()
+
+	subset := []string(nil)
+	if *benchmarks != "" {
+		subset = strings.Split(*benchmarks, ",")
+	}
+	mk := func(machine spawn.Machine, resched bool) bench.TableConfig {
+		return bench.TableConfig{
+			Machine:            machine,
+			RescheduleBaseline: resched,
+			DynamicInsts:       *insts,
+			Seed:               *seed,
+			Benchmarks:         subset,
+			ValidateCounts:     *validate,
+		}
+	}
+	configs := map[int]bench.TableConfig{
+		1: mk(spawn.UltraSPARC, false),
+		2: mk(spawn.UltraSPARC, true),
+		3: mk(spawn.SuperSPARC, false),
+	}
+
+	if *summary {
+		for _, n := range []int{1, 2, 3} {
+			t, err := bench.RunTable(configs[n])
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			ii, is, ih, _ := t.Averages(false)
+			fi, fs, fh, _ := t.Averages(true)
+			fmt.Printf("Table %d (%s%s):\n", n, t.Config.Machine, rescheduleNote(t.Config))
+			fmt.Printf("  CINT95: inst %.2fx  sched %.2fx  hidden %.1f%%\n", ii, is, ih)
+			fmt.Printf("  CFP95:  inst %.2fx  sched %.2fx  hidden %.1f%%\n", fi, fs, fh)
+		}
+		return
+	}
+
+	cfg, ok := configs[*table]
+	if !ok {
+		fmt.Fprintln(os.Stderr, "tables: pass -table 1, 2 or 3, or -summary")
+		os.Exit(2)
+	}
+	t, err := bench.RunTable(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("Table %d: %s", *table, t.String())
+}
+
+func rescheduleNote(c bench.TableConfig) string {
+	if c.RescheduleBaseline {
+		return ", rescheduled baseline"
+	}
+	return ""
+}

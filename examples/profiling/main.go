@@ -1,0 +1,124 @@
+// Profiling: a full round trip on a synthetic SPEC95 stand-in. Generates
+// the "130.li" workload, instruments it three ways (unscheduled, scheduled
+// conservatively, scheduled with the paper's aliasing rule), measures each
+// on the UltraSPARC hardware model, validates the profile against
+// ground-truth block counts from the functional interpreter, and reports
+// how much of the overhead scheduling hid.
+//
+//	go run ./examples/profiling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eel/internal/core"
+	"eel/internal/eel"
+	"eel/internal/exe"
+	"eel/internal/qpt"
+	"eel/internal/sim"
+	"eel/internal/sparc"
+	"eel/internal/spawn"
+	"eel/internal/workload"
+)
+
+func main() {
+	machine := spawn.UltraSPARC
+	model := spawn.MustLoad(machine)
+	tcfg := sim.DefaultTiming(machine)
+
+	b, _ := workload.ByName("130.li", machine)
+	x, err := workload.Generate(b, workload.Config{Machine: machine, DynamicInsts: 400_000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ed, err := eel.Open(x)
+	if err != nil {
+		log.Fatal(err)
+	}
+	avg, err := workload.MeasureAvgBlockSize(x, 200_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload %s: %d blocks, dynamic avg block size %.2f (paper: %.1f)\n",
+		b.Name, len(ed.Graph().Blocks), avg, b.AvgBlockSize)
+
+	_, baseTm, _, err := sim.RunMeasured(x, model, tcfg, 1<<30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := baseTm.Cycles()
+	fmt.Printf("uninstrumented: %d cycles\n", base)
+
+	variants := []struct {
+		name string
+		opts eel.Options
+	}{
+		{"unscheduled", eel.Options{}},
+		{"scheduled (conservative aliasing)", eel.Options{
+			Machine: model, Schedule: true, Sched: core.Options{ConservativeMem: true}}},
+		{"scheduled (paper aliasing rule)", eel.Options{Machine: model, Schedule: true}},
+	}
+
+	// Ground truth: run the original program counting block entries.
+	truth, err := groundTruth(x, ed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var unscheduled int64
+	for _, v := range variants {
+		prof := &qpt.SlowProfiler{}
+		edited, err := ed.Edit(prof, v.opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		in, tm, _, err := sim.RunMeasured(edited, model, tcfg, 1<<30)
+		if err != nil {
+			log.Fatal(err)
+		}
+		counts, err := prof.Counts(in.Mem().Read32)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bad := 0
+		for blk, want := range truth {
+			if counts[blk] != want {
+				bad++
+			}
+		}
+		line := fmt.Sprintf("%-36s %9d cycles (%.2fx)", v.name, tm.Cycles(),
+			float64(tm.Cycles())/float64(base))
+		if v.name == "unscheduled" {
+			unscheduled = tm.Cycles()
+		} else if unscheduled > base {
+			hidden := 100 * float64(unscheduled-tm.Cycles()) / float64(unscheduled-base)
+			line += fmt.Sprintf("  hides %.1f%% of overhead", hidden)
+		}
+		if bad > 0 {
+			line += fmt.Sprintf("  [%d blocks misprofiled!]", bad)
+		} else {
+			line += "  profile exact"
+		}
+		fmt.Println(line)
+	}
+}
+
+// groundTruth counts block entries with the functional interpreter.
+func groundTruth(x *exe.Exe, ed *eel.Editor) (map[int]uint64, error) {
+	in, err := sim.NewInterp(x)
+	if err != nil {
+		return nil, err
+	}
+	startOf := make(map[int]int)
+	for _, b := range ed.Graph().Blocks {
+		startOf[b.Start] = b.Index
+	}
+	counts := make(map[int]uint64)
+	_, err = in.Run(1<<30, func(idx int, inst *sparc.Inst) {
+		if bi, ok := startOf[idx]; ok {
+			counts[bi]++
+		}
+	})
+	return counts, err
+}

@@ -1,0 +1,96 @@
+// Quickstart: build a small SPARC program, instrument it with QPT2 slow
+// profiling scheduled into the unused issue slots of an UltraSPARC, run
+// both versions on the simulator, and compare.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eel/internal/eel"
+	"eel/internal/exe"
+	"eel/internal/qpt"
+	"eel/internal/sim"
+	"eel/internal/sparc"
+	"eel/internal/spawn"
+)
+
+const program = `
+	! sum the words of an array, 10000 times over
+	sethi %hi(0x40000000), %o0
+	set 10000, %i0
+outer:
+	mov 0, %g1              ! sum
+	mov 0, %g2              ! i
+loop:
+	sll %g2, 2, %g3
+	ld [%o0 + %g3], %g4
+	add %g1, %g4, %g1
+	add %g2, 1, %g2
+	cmp %g2, 64
+	bl loop
+	nop
+	subcc %i0, 1, %i0
+	bne outer
+	nop
+	st %g1, [%o0 + 256]     ! publish the sum
+	ta 0
+`
+
+func main() {
+	// 1. Assemble into an executable image.
+	insts, err := sparc.Assemble(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	x := exe.New()
+	for _, inst := range insts {
+		x.Text = append(x.Text, sparc.MustEncode(inst))
+	}
+	x.Data = make([]byte, 512)
+	for i := 0; i < 64; i++ {
+		x.Data[4*i+3] = byte(i) // array[i] = i
+	}
+
+	// 2. Open with EEL and instrument with scheduled slow profiling.
+	model := spawn.MustLoad(spawn.UltraSPARC)
+	ed, err := eel.Open(x)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof := &qpt.SlowProfiler{}
+	instrumented, err := ed.Edit(prof, eel.Options{Machine: model, Schedule: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("text size: %d -> %d instructions, %d counters\n",
+		len(x.Text), len(instrumented.Text), prof.NumCounters())
+
+	// 3. Run both on the UltraSPARC hardware timing model.
+	cfg := sim.DefaultTiming(spawn.UltraSPARC)
+	_, base, _, err := sim.RunMeasured(x, model, cfg, 1<<28)
+	if err != nil {
+		log.Fatal(err)
+	}
+	in, timed, _, err := sim.RunMeasured(instrumented, model, cfg, 1<<28)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("uninstrumented: %d cycles\n", base.Cycles())
+	fmt.Printf("instrumented:   %d cycles (%.2fx)\n",
+		timed.Cycles(), float64(timed.Cycles())/float64(base.Cycles()))
+
+	// 4. Read the profile and check it against the program structure.
+	counts, err := prof.Counts(in.Mem().Read32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("block execution counts:")
+	for _, b := range ed.Graph().Blocks {
+		fmt.Printf("  block %d (insts %d..%d): %d\n", b.Index, b.Start, b.End-1, counts[b.Index])
+	}
+	sum := in.Mem().Read32(0x40000100)
+	fmt.Printf("program result: sum = %d (want %d)\n", sum, 64*63/2)
+}

@@ -1,0 +1,81 @@
+// SADL: parse the paper's Figure 2 description of the ROSS hyperSPARC and
+// print what Spawn infers from it — the timing groups, per-cycle resource
+// usage and register read/write cycles the instruction scheduler consumes
+// — then do the same for the full shipped UltraSPARC description.
+//
+//	go run ./examples/sadl
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"eel/internal/sadl"
+	"eel/internal/sparc"
+	"eel/internal/spawn"
+)
+
+func main() {
+	src, err := os.ReadFile("internal/sadl/testdata/hypersparc_fig2.sadl")
+	if err != nil {
+		// Running from a different directory: fall back to the shipped
+		// full description.
+		src = nil
+	}
+	if src != nil {
+		fmt.Println("== Figure 2: add/sub/sra on the ROSS hyperSPARC")
+		file, err := sadl.Parse(string(src))
+		if err != nil {
+			log.Fatal(err)
+		}
+		ev, err := sadl.NewEvaluator(file)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, name := range ev.SemNames() {
+			for _, iflag := range []int{0, 1} {
+				rec, err := ev.Timing(name, map[string]int{"iflag": iflag})
+				if err != nil {
+					log.Fatal(err)
+				}
+				variant := "reg"
+				if iflag == 1 {
+					variant = "imm"
+				}
+				fmt.Printf("%-4s/%s: %d cycles, reads %v, writes %v\n",
+					name, variant, rec.Cycles, summarizeReads(rec), summarizeWrites(rec))
+			}
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("== Shipped UltraSPARC model (Spawn analysis)")
+	model := spawn.MustLoad(spawn.UltraSPARC)
+	fmt.Printf("issue width %d, %d units, %d timing groups\n",
+		model.IssueWidth, len(model.Units), len(model.Groups))
+	for _, op := range []sparc.Op{sparc.OpAdd, sparc.OpLd, sparc.OpSt, sparc.OpFmuld, sparc.OpFdivd, sparc.OpBicc} {
+		g, err := model.GroupFor(op, op != sparc.OpFmuld && op != sparc.OpFdivd && op != sparc.OpBicc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s group %2d: %2d cycles, markers %v\n",
+			op.Name(), g.ID, g.Cycles, g.Markers)
+	}
+}
+
+func summarizeReads(rec *sadl.Record) []string {
+	var out []string
+	for _, r := range rec.Reads {
+		out = append(out, fmt.Sprintf("%s.%s@%d", r.File, r.Field, r.Cycle))
+	}
+	return out
+}
+
+func summarizeWrites(rec *sadl.Record) []string {
+	var out []string
+	for _, w := range rec.Writes {
+		out = append(out, fmt.Sprintf("%s.%s avail@%d", w.File, w.Field, w.Avail))
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package repro
+
+import (
+	"path/filepath"
+	"testing"
+
+	"eel/internal/eel"
+	"eel/internal/exe"
+	"eel/internal/qpt"
+	"eel/internal/sim"
+	"eel/internal/spawn"
+	"eel/internal/workload"
+)
+
+// TestEndToEndFileRoundTrip drives the full toolchain through the on-disk
+// executable format, the way cmd/eelprof does: generate a workload, write
+// it to a file, read it back, instrument + schedule, write the result,
+// read it back again, run it, and validate the profile.
+func TestEndToEndFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	machine := spawn.UltraSPARC
+	model := spawn.MustLoad(machine)
+
+	b, ok := workload.ByName("129.compress", machine)
+	if !ok {
+		t.Fatal("unknown benchmark")
+	}
+	x, err := workload.Generate(b, workload.Config{
+		Machine:         machine,
+		DynamicInsts:    80_000,
+		SkipCalibration: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := filepath.Join(dir, "compress.exe")
+	if err := x.WriteFile(orig); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := exe.ReadFile(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ed, err := eel.Open(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := &qpt.SlowProfiler{}
+	instrumented, err := ed.Edit(prof, eel.Options{Machine: model, Schedule: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	instPath := filepath.Join(dir, "compress.prof")
+	if err := instrumented.WriteFile(instPath); err != nil {
+		t.Fatal(err)
+	}
+
+	final, err := exe.ReadFile(instPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, tm, res, err := sim.RunMeasured(final, model, sim.DefaultTiming(machine), 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted {
+		t.Fatal("did not halt")
+	}
+	if tm.Cycles() <= 0 {
+		t.Fatal("no cycles measured")
+	}
+	counts, err := prof.Counts(in.Mem().Read32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		t.Error("profile is empty")
+	}
+	// The trace counter symbol must be present in the written image.
+	if _, ok := final.Lookup("__qpt_counters"); !ok {
+		t.Error("__qpt_counters symbol missing from instrumented image")
+	}
+}
+
+// TestSuiteCoversBothCompilations spot-checks that per-machine suites feed
+// through generation on both evaluated machines.
+func TestSuiteCoversBothCompilations(t *testing.T) {
+	for _, machine := range []spawn.Machine{spawn.UltraSPARC, spawn.SuperSPARC} {
+		b, ok := workload.ByName("104.hydro2d", machine)
+		if !ok {
+			t.Fatal("missing benchmark")
+		}
+		x, err := workload.Generate(b, workload.Config{
+			Machine:         machine,
+			DynamicInsts:    50_000,
+			SkipCalibration: true,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", machine, err)
+		}
+		in, err := sim.NewInterp(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := in.Run(5_000_000, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", machine, err)
+		}
+		if !res.Halted {
+			t.Fatalf("%s: did not halt", machine)
+		}
+	}
+}

@@ -1,0 +1,285 @@
+// Package bench reproduces the paper's evaluation (§4.2): for each SPEC95
+// stand-in it measures the uninstrumented, instrumented-unscheduled and
+// instrumented-scheduled executables on the machine's hardware timing
+// model, and renders Tables 1–3 (times, slowdown ratios, and the fraction
+// of instrumentation overhead hidden by scheduling).
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"eel/internal/core"
+	"eel/internal/eel"
+	"eel/internal/exe"
+	"eel/internal/qpt"
+	"eel/internal/sim"
+	"eel/internal/spawn"
+	"eel/internal/workload"
+)
+
+// TableConfig selects one experiment.
+type TableConfig struct {
+	Machine spawn.Machine
+	// RescheduleBaseline reproduces Table 2: EEL reschedules the original
+	// program first, and instrumentation is applied to that binary.
+	RescheduleBaseline bool
+	// DynamicInsts approximately sizes each benchmark's run.
+	DynamicInsts uint64
+	Seed         int64
+	// Sched tunes the scheduler (ablations); zero value is the paper's.
+	Sched core.Options
+	// DisablePlacementOpt instruments every block (ablation).
+	DisablePlacementOpt bool
+	// ValidateCounts cross-checks profile counters between the scheduled
+	// and unscheduled instrumented runs.
+	ValidateCounts bool
+	// Benchmarks restricts the run to the named subset (nil = all 18).
+	Benchmarks []string
+}
+
+func (c TableConfig) withDefaults() TableConfig {
+	if c.Machine == "" {
+		c.Machine = spawn.UltraSPARC
+	}
+	if c.DynamicInsts == 0 {
+		c.DynamicInsts = 600_000
+	}
+	return c
+}
+
+// Row is one table line.
+type Row struct {
+	Name  string
+	FP    bool
+	AvgBB float64
+
+	UninstCycles int64 // original binary (Tables 1/3) — always measured
+	BaseCycles   int64 // baseline for the experiment (= Uninst, or rescheduled)
+	InstCycles   int64
+	SchedCycles  int64
+
+	UninstSec, BaseSec, InstSec, SchedSec float64
+
+	// RescheduleRatio = BaseCycles/UninstCycles (the paper's Table 2
+	// Uninst column parenthetical).
+	RescheduleRatio float64
+	InstRatio       float64 // InstCycles / UninstCycles
+	SchedRatio      float64 // SchedCycles / UninstCycles
+	PctHidden       float64 // 100 * (Inst-Sched)/(Inst-Base)
+}
+
+// Table is a complete experiment result.
+type Table struct {
+	Config TableConfig
+	Rows   []Row
+}
+
+// measure runs x and returns (cycles, seconds).
+func measure(x *exe.Exe, model *spawn.Model, cfg sim.TimingConfig, maxSteps uint64) (int64, float64, *sim.Interp, error) {
+	in, tm, res, err := sim.RunMeasured(x, model, cfg, maxSteps)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if !res.Halted {
+		return 0, 0, nil, fmt.Errorf("bench: run did not halt")
+	}
+	return tm.Cycles(), tm.Seconds(), in, nil
+}
+
+// RunBenchmark measures one benchmark under a configuration.
+func RunBenchmark(b workload.Benchmark, cfg TableConfig) (Row, error) {
+	cfg = cfg.withDefaults()
+	model, err := spawn.Load(cfg.Machine)
+	if err != nil {
+		return Row{}, err
+	}
+	tcfg := sim.DefaultTiming(cfg.Machine)
+	maxSteps := 40*cfg.DynamicInsts + 1_000_000
+
+	orig, err := workload.Generate(b, workload.Config{
+		Machine:      cfg.Machine,
+		DynamicInsts: cfg.DynamicInsts,
+		Seed:         cfg.Seed,
+	})
+	if err != nil {
+		return Row{}, fmt.Errorf("bench: %s: %w", b.Name, err)
+	}
+	row := Row{Name: b.Name, FP: b.FP}
+	row.AvgBB, err = workload.MeasureAvgBlockSize(orig, 300_000)
+	if err != nil {
+		return Row{}, err
+	}
+
+	row.UninstCycles, row.UninstSec, _, err = measure(orig, model, tcfg, maxSteps)
+	if err != nil {
+		return Row{}, fmt.Errorf("bench: %s uninstrumented: %w", b.Name, err)
+	}
+
+	base := orig
+	if cfg.RescheduleBaseline {
+		ed, err := eel.Open(orig)
+		if err != nil {
+			return Row{}, err
+		}
+		base, err = ed.Reschedule(model, cfg.Sched)
+		if err != nil {
+			return Row{}, fmt.Errorf("bench: %s reschedule: %w", b.Name, err)
+		}
+		row.BaseCycles, row.BaseSec, _, err = measure(base, model, tcfg, maxSteps)
+		if err != nil {
+			return Row{}, fmt.Errorf("bench: %s rescheduled: %w", b.Name, err)
+		}
+	} else {
+		row.BaseCycles, row.BaseSec = row.UninstCycles, row.UninstSec
+	}
+
+	ed, err := eel.Open(base)
+	if err != nil {
+		return Row{}, err
+	}
+
+	// Instrumented, unscheduled.
+	profInst := &qpt.SlowProfiler{DisablePlacementOpt: cfg.DisablePlacementOpt}
+	instExe, err := ed.Edit(profInst, eel.Options{})
+	if err != nil {
+		return Row{}, fmt.Errorf("bench: %s instrument: %w", b.Name, err)
+	}
+	var instRun *sim.Interp
+	row.InstCycles, row.InstSec, instRun, err = measure(instExe, model, tcfg, maxSteps)
+	if err != nil {
+		return Row{}, fmt.Errorf("bench: %s instrumented: %w", b.Name, err)
+	}
+
+	// Instrumented and scheduled together.
+	profSched := &qpt.SlowProfiler{DisablePlacementOpt: cfg.DisablePlacementOpt}
+	schedExe, err := ed.Edit(profSched, eel.Options{
+		Machine:  model,
+		Schedule: true,
+		Sched:    cfg.Sched,
+	})
+	if err != nil {
+		return Row{}, fmt.Errorf("bench: %s schedule: %w", b.Name, err)
+	}
+	var schedRun *sim.Interp
+	row.SchedCycles, row.SchedSec, schedRun, err = measure(schedExe, model, tcfg, maxSteps)
+	if err != nil {
+		return Row{}, fmt.Errorf("bench: %s scheduled: %w", b.Name, err)
+	}
+
+	if cfg.ValidateCounts {
+		a, err := profInst.Counts(instRun.Mem().Read32)
+		if err != nil {
+			return Row{}, err
+		}
+		bc, err := profSched.Counts(schedRun.Mem().Read32)
+		if err != nil {
+			return Row{}, err
+		}
+		for blk, av := range a {
+			if bc[blk] != av {
+				return Row{}, fmt.Errorf("bench: %s: block %d counts diverge: %d vs %d",
+					b.Name, blk, av, bc[blk])
+			}
+		}
+	}
+
+	row.RescheduleRatio = ratio(row.BaseCycles, row.UninstCycles)
+	row.InstRatio = ratio(row.InstCycles, row.UninstCycles)
+	row.SchedRatio = ratio(row.SchedCycles, row.UninstCycles)
+	overhead := row.InstCycles - row.BaseCycles
+	if overhead != 0 {
+		row.PctHidden = 100 * float64(row.InstCycles-row.SchedCycles) / float64(overhead)
+	}
+	return row, nil
+}
+
+func ratio(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// RunTable runs a full experiment over the suite.
+func RunTable(cfg TableConfig) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{Config: cfg}
+	for _, b := range workload.Suite(cfg.Machine) {
+		if len(cfg.Benchmarks) > 0 && !contains(cfg.Benchmarks, b.Name) {
+			continue
+		}
+		row, err := RunBenchmark(b, cfg)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Averages returns (mean inst ratio, mean sched ratio, mean % hidden) for
+// a suite half (fp or integer), following the paper's arithmetic means.
+func (t *Table) Averages(fp bool) (instRatio, schedRatio, pctHidden float64, n int) {
+	for _, r := range t.Rows {
+		if r.FP != fp {
+			continue
+		}
+		instRatio += r.InstRatio
+		schedRatio += r.SchedRatio
+		pctHidden += r.PctHidden
+		n++
+	}
+	if n > 0 {
+		instRatio /= float64(n)
+		schedRatio /= float64(n)
+		pctHidden /= float64(n)
+	}
+	return instRatio, schedRatio, pctHidden, n
+}
+
+// String renders the table in the paper's format.
+func (t *Table) String() string {
+	var b strings.Builder
+	title := "Slow profiling instrumentation on the " + strings.Title(string(t.Config.Machine))
+	if t.Config.RescheduleBaseline {
+		title += ", with original instructions first rescheduled by EEL"
+	}
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-14s %8s %10s %16s %16s %9s\n",
+		"Benchmark", "Avg.BB", "Uninst.", "Inst.", "Sched.", "%Hidden")
+	writeRows := func(fp bool, label string) {
+		for _, r := range t.Rows {
+			if r.FP != fp {
+				continue
+			}
+			uninst := fmt.Sprintf("%.1f", r.UninstSec*1000)
+			if t.Config.RescheduleBaseline {
+				uninst = fmt.Sprintf("%.1f (%.2f)", r.BaseSec*1000, r.RescheduleRatio)
+			}
+			fmt.Fprintf(&b, "%-14s %8.1f %10s %9.1f (%.2f) %9.1f (%.2f) %8.1f%%\n",
+				r.Name, r.AvgBB, uninst,
+				r.InstSec*1000, r.InstRatio,
+				r.SchedSec*1000, r.SchedRatio,
+				r.PctHidden)
+		}
+		ir, sr, ph, n := t.Averages(fp)
+		if n > 0 {
+			fmt.Fprintf(&b, "%-14s %8s %10s %16.2f %16.2f %8.1f%%\n",
+				label+" Average", "", "", ir, sr, ph)
+		}
+	}
+	writeRows(false, "CINT95")
+	writeRows(true, "CFP95")
+	b.WriteString("(times in simulated milliseconds at the paper's clock rates)\n")
+	return b.String()
+}

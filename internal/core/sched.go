@@ -1,0 +1,441 @@
+// Package core implements the paper's primary contribution: EEL's local
+// (basic-block) instruction scheduler, which hides instrumentation code in
+// unused superscalar issue slots (paper §4).
+//
+// The scheduler is the paper's "common two pass list scheduling algorithm":
+//
+//   - Pass 1 walks the block backwards, computing the length in cycles of
+//     the dependence chain from every instruction to the end of the block,
+//     considering only the stalls required between data-dependent
+//     instructions.
+//   - Pass 2 walks forward with list scheduling. Among the instructions
+//     whose predecessors are all scheduled, it picks the one requiring the
+//     fewest stalls before it can start execution (as computed by the
+//     pipeline_stalls model in package pipe); ties break first toward the
+//     instruction farthest from the end of the block, then toward the one
+//     listed earlier in the original code (which was presumably scheduled
+//     by the compiler).
+//
+// Memory disambiguation follows the paper exactly: original loads and
+// stores conservatively conflict with each other; instrumentation loads
+// and stores conflict with each other; but instrumentation memory accesses
+// do not conflict with original ones ("instrumentation loads and stores
+// ... access the same address, which differs from the address accessed by
+// original instructions"). Options.ConservativeMem disables the exemption
+// for instrumentation whose references are more constrained.
+package core
+
+import (
+	"fmt"
+
+	"eel/internal/pipe"
+	"eel/internal/sparc"
+	"eel/internal/spawn"
+)
+
+// Options tune the scheduler. The zero value is the paper's configuration.
+type Options struct {
+	// ConservativeMem makes instrumentation memory references conflict
+	// with original ones (the paper's "options to limit the movement of
+	// instrumentation code").
+	ConservativeMem bool
+	// ChainFirst flips the priority function to prefer the longest
+	// dependence chain over the fewest stalls (ablation).
+	ChainFirst bool
+	// NoReorder disables scheduling entirely; blocks pass through
+	// unchanged (the unscheduled instrumentation baseline).
+	NoReorder bool
+}
+
+// Pipeline is the stall oracle driving list scheduling. pipe.State — the
+// paper's SADL-derived pipeline_stalls — is the standard implementation;
+// sim.HWPipeline models the real machine's grouping rules and lets the
+// workload generator schedule code the way the vendors' compilers did.
+type Pipeline interface {
+	Reset()
+	Stalls(inst sparc.Inst) (int, error)
+	Issue(inst sparc.Inst) (stalls int, issueCycle int64, err error)
+}
+
+// Scheduler schedules basic blocks for one machine model.
+type Scheduler struct {
+	model *spawn.Model
+	state Pipeline
+	opts  Options
+}
+
+// New returns a scheduler driven by the machine's SADL pipeline model —
+// the paper's configuration.
+func New(model *spawn.Model, opts Options) *Scheduler {
+	return &Scheduler{model: model, state: pipe.NewState(model), opts: opts}
+}
+
+// NewWith returns a scheduler driven by a custom stall oracle (e.g. a
+// hardware model with grouping rules the SADL description omits).
+func NewWith(p Pipeline, model *spawn.Model, opts Options) *Scheduler {
+	return &Scheduler{model: model, state: p, opts: opts}
+}
+
+// Model returns the scheduler's machine model.
+func (s *Scheduler) Model() *spawn.Model { return s.model }
+
+// node is one instruction in the block's dependence DAG.
+type node struct {
+	inst  sparc.Inst
+	index int // original position, the final tiebreak
+	succs []edge
+	npred int
+	chain int // pass-1 dependence-chain length to block end, in cycles
+}
+
+type edge struct {
+	to  *node
+	lat int // minimum stall-free issue distance
+}
+
+// ScheduleBlock reorders one basic block. The slice must be a full block:
+// if it ends with a control-transfer instruction and its delay slot, the
+// scheduler keeps the CTI in place, schedules the body (the old delay-slot
+// instruction joins the body), and refills the delay slot with the last
+// scheduled instruction when that preserves semantics, or a nop otherwise.
+//
+// Blocks ending in an annulled branch are returned unchanged (their delay
+// slot executes conditionally, pinning it).
+func (s *Scheduler) ScheduleBlock(block []sparc.Inst) ([]sparc.Inst, error) {
+	if s.opts.NoReorder || len(block) == 0 {
+		return block, nil
+	}
+
+	body := block
+	var cti sparc.Inst
+	hasCTI := false
+	if n := len(block); n >= 2 && block[n-2].IsCTI() {
+		if block[n-2].Annul {
+			return block, nil
+		}
+		hasCTI = true
+		cti = block[n-2]
+		body = make([]sparc.Inst, 0, n-1)
+		body = append(body, block[:n-2]...)
+		if !block[n-1].IsNop() {
+			body = append(body, block[n-1])
+		}
+	} else if n >= 1 && block[n-1].IsCTI() {
+		return nil, fmt.Errorf("core: block ends with a CTI but no delay slot")
+	}
+
+	scheduled, err := s.scheduleStraightLine(body)
+	if err != nil {
+		return nil, err
+	}
+	if !hasCTI {
+		return scheduled, nil
+	}
+
+	out := make([]sparc.Inst, 0, len(scheduled)+2)
+	// Fill the delay slot with the last scheduled instruction when legal.
+	if k := len(scheduled); k > 0 && delaySlotLegal(cti, scheduled[k-1]) {
+		out = append(out, scheduled[:k-1]...)
+		out = append(out, cti, scheduled[k-1])
+		return out, nil
+	}
+	out = append(out, scheduled...)
+	out = append(out, cti, sparc.NewNop())
+	return out, nil
+}
+
+// delaySlotLegal reports whether cand may move from just before the CTI
+// into its delay slot. The CTI evaluates its operands before the delay
+// instruction executes, so cand must not define anything the CTI uses; it
+// must not touch the CTI's definitions (e.g. %o7 of a call); and it must
+// not itself transfer control.
+func delaySlotLegal(cti, cand sparc.Inst) bool {
+	if cand.IsCTI() || cand.Op == sparc.OpTicc {
+		return false
+	}
+	ctiUses := cti.Uses(nil)
+	ctiDefs := cti.Defs(nil)
+	for _, d := range cand.Defs(nil) {
+		for _, u := range ctiUses {
+			if d == u {
+				return false
+			}
+		}
+		for _, cd := range ctiDefs {
+			if d == cd {
+				return false
+			}
+		}
+	}
+	for _, u := range cand.Uses(nil) {
+		for _, cd := range ctiDefs {
+			if u == cd {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// scheduleStraightLine runs the two-pass list scheduler over straight-line
+// code.
+func (s *Scheduler) scheduleStraightLine(body []sparc.Inst) ([]sparc.Inst, error) {
+	if len(body) <= 1 {
+		return body, nil
+	}
+	nodes, err := s.buildDAG(body)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pass 1: backward dependence-chain lengths.
+	for i := len(nodes) - 1; i >= 0; i-- {
+		n := nodes[i]
+		n.chain = 1
+		for _, e := range n.succs {
+			if c := e.lat + e.to.chain; c > n.chain {
+				n.chain = c
+			}
+		}
+	}
+
+	// Pass 2: forward list scheduling.
+	s.state.Reset()
+	ready := make([]*node, 0, len(nodes))
+	for _, n := range nodes {
+		if n.npred == 0 {
+			ready = append(ready, n)
+		}
+	}
+	out := make([]sparc.Inst, 0, len(body))
+	for len(ready) > 0 {
+		bestIdx := -1
+		bestStalls := 0
+		var best *node
+		for i, n := range ready {
+			st, err := s.state.Stalls(n.inst)
+			if err != nil {
+				return nil, err
+			}
+			if best == nil || s.better(st, n, bestStalls, best) {
+				best, bestIdx, bestStalls = n, i, st
+			}
+		}
+		if _, _, err := s.state.Issue(best.inst); err != nil {
+			return nil, err
+		}
+		out = append(out, best.inst)
+		ready[bestIdx] = ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		for _, e := range best.succs {
+			e.to.npred--
+			if e.to.npred == 0 {
+				ready = append(ready, e.to)
+			}
+		}
+	}
+	if len(out) != len(body) {
+		return nil, fmt.Errorf("core: scheduler dropped instructions (%d of %d)", len(out), len(body))
+	}
+	return out, nil
+}
+
+// better reports whether candidate (stalls st, node n) beats the current
+// best. Default priority: fewest stalls, then longest chain to block end,
+// then original order.
+func (s *Scheduler) better(st int, n *node, bestSt int, best *node) bool {
+	if s.opts.ChainFirst {
+		if n.chain != best.chain {
+			return n.chain > best.chain
+		}
+		if st != bestSt {
+			return st < bestSt
+		}
+		return n.index < best.index
+	}
+	if st != bestSt {
+		return st < bestSt
+	}
+	if n.chain != best.chain {
+		return n.chain > best.chain
+	}
+	return n.index < best.index
+}
+
+// buildDAG constructs the dependence DAG with the paper's memory rules.
+func (s *Scheduler) buildDAG(body []sparc.Inst) ([]*node, error) {
+	nodes := make([]*node, len(body))
+	for i, inst := range body {
+		nodes[i] = &node{inst: inst, index: i}
+	}
+	var usesI, defsI, usesJ, defsJ []sparc.Reg
+	for i := 0; i < len(body); i++ {
+		gi, err := s.model.GroupOf(body[i])
+		if err != nil {
+			return nil, err
+		}
+		usesI = body[i].Uses(usesI[:0])
+		defsI = body[i].Defs(defsI[:0])
+		for j := i + 1; j < len(body); j++ {
+			usesJ = body[j].Uses(usesJ[:0])
+			defsJ = body[j].Defs(defsJ[:0])
+
+			lat := 0
+			dep := false
+			// RAW: i defines a register j uses.
+			if r, ok := intersects(defsI, usesJ); ok {
+				dep = true
+				if l := s.rawLatency(gi, body[i], body[j], r); l > lat {
+					lat = l
+				}
+			}
+			// WAR and WAW: ordering edges with unit latency.
+			if _, ok := intersects(usesI, defsJ); ok {
+				dep = true
+				if lat < 1 {
+					lat = 1
+				}
+			}
+			if _, ok := intersects(defsI, defsJ); ok {
+				dep = true
+				if lat < 1 {
+					lat = 1
+				}
+			}
+			// Memory ordering.
+			if s.memConflict(body[i], body[j]) {
+				dep = true
+				if lat < 1 {
+					lat = 1
+				}
+			}
+			// Traps are scheduling barriers: nothing moves across them.
+			if body[i].Op == sparc.OpTicc || body[j].Op == sparc.OpTicc {
+				dep = true
+				if lat < 1 {
+					lat = 1
+				}
+			}
+			if dep {
+				nodes[i].succs = append(nodes[i].succs, edge{to: nodes[j], lat: lat})
+				nodes[j].npred++
+			}
+		}
+	}
+	return nodes, nil
+}
+
+// rawLatency returns the minimum stall-free issue distance between a
+// producer and a consumer of register r: the producer's availability cycle
+// for r minus the consumer's read cycle for r.
+func (s *Scheduler) rawLatency(gi *spawn.Group, prod, cons sparc.Inst, r sparc.Reg) int {
+	avail := writeAvail(gi, prod, r)
+	read := 1
+	if gj, err := s.model.GroupOf(cons); err == nil {
+		read = readCycle(gj, cons, r)
+	}
+	if l := avail - read; l > 0 {
+		return l
+	}
+	return 0
+}
+
+func writeAvail(g *spawn.Group, inst sparc.Inst, r sparc.Reg) int {
+	def := g.Cycles
+	for _, w := range g.Writes {
+		if fieldNames(w, inst, r) {
+			return w.Cycle
+		}
+	}
+	return def
+}
+
+func readCycle(g *spawn.Group, inst sparc.Inst, r sparc.Reg) int {
+	for _, rd := range g.Reads {
+		if fieldNames(rd, inst, r) {
+			return rd.Cycle
+		}
+	}
+	if len(g.Reads) > 0 {
+		min := g.Reads[0].Cycle
+		for _, rd := range g.Reads {
+			if rd.Cycle < min {
+				min = rd.Cycle
+			}
+		}
+		return min
+	}
+	return 1
+}
+
+// fieldNames mirrors pipe's field resolution for latency queries.
+func fieldNames(a spawn.FieldAccess, inst sparc.Inst, r sparc.Reg) bool {
+	switch a.File {
+	case "R":
+		if !r.IsInt() {
+			return false
+		}
+	case "F":
+		if !r.IsFloat() {
+			return false
+		}
+	case "CC":
+		if a.Index == 0 {
+			return r == sparc.ICC
+		}
+		return r == sparc.FCC
+	case "Y":
+		return r == sparc.YReg
+	default:
+		return false
+	}
+	switch a.Field {
+	case "rs1":
+		return r == inst.Rs1 || r == inst.Rs1+1
+	case "rs2":
+		return r == inst.Rs2 || r == inst.Rs2+1
+	case "rd":
+		return r == inst.Rd || r == inst.Rd+1
+	case "":
+		if a.File == "R" {
+			return r == sparc.Reg(a.Index)
+		}
+		if a.File == "F" {
+			return r == sparc.FReg(a.Index)
+		}
+	}
+	return false
+}
+
+// memConflict applies the paper's aliasing rules to a pair of
+// instructions in original order (i before j).
+func (s *Scheduler) memConflict(i, j sparc.Inst) bool {
+	iMem := i.Op.IsLoad() || i.Op.IsStore()
+	jMem := j.Op.IsLoad() || j.Op.IsStore()
+	if !iMem || !jMem {
+		return false
+	}
+	if i.Op.IsLoad() && j.Op.IsLoad() {
+		return false // loads never conflict
+	}
+	if !s.opts.ConservativeMem && i.Instrumented != j.Instrumented {
+		// Instrumentation memory is disjoint from program memory.
+		return false
+	}
+	return true
+}
+
+// intersects returns a register present in both sets (%g0 excluded).
+func intersects(a, b []sparc.Reg) (sparc.Reg, bool) {
+	for _, x := range a {
+		if x == sparc.G0 {
+			continue
+		}
+		for _, y := range b {
+			if x == y {
+				return x, true
+			}
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"eel/internal/sparc"
+	"eel/internal/spawn"
+)
+
+// TestFPBranchBlock: a block ending in fcmpd + fbl keeps the compare
+// before the branch and never moves the fcc producer into the delay slot.
+func TestFPBranchBlock(t *testing.T) {
+	s := ultraSched(Options{})
+	block := []sparc.Inst{
+		sparc.NewALU(sparc.OpFaddd, sparc.FReg(0), sparc.FReg(2), sparc.FReg(4)),
+		{Op: sparc.OpFcmpd, Rs1: sparc.FReg(0), Rs2: sparc.FReg(6)},
+		sparc.NewALUImm(sparc.OpAdd, sparc.G1, sparc.G2, 1),
+		sparc.NewFBranch(4, -8), // fbl
+		sparc.NewNop(),
+	}
+	out := mustSchedule(t, s, block)
+	posCmp, posBr := -1, -1
+	for i, inst := range out {
+		if inst.Op == sparc.OpFcmpd {
+			posCmp = i
+		}
+		if inst.Op == sparc.OpFBfcc {
+			posBr = i
+		}
+	}
+	if posCmp > posBr {
+		t.Fatalf("fcmp after its branch: %v", out)
+	}
+	if out[len(out)-1].Op == sparc.OpFcmpd {
+		t.Fatalf("fcc producer in the delay slot: %v", out)
+	}
+	// The independent add may legally fill the slot.
+	if n := len(out); out[n-2].Op != sparc.OpFBfcc {
+		t.Fatalf("branch not terminal: %v", out)
+	}
+}
+
+// TestInstrumentationIntoFPStalls: the QPT counter sequence scheduled into
+// an FP block must issue during the FP chain's stall cycles on the
+// scheduler's model (the paper's headline mechanism).
+func TestInstrumentationIntoFPStalls(t *testing.T) {
+	model := spawn.MustLoad(spawn.HyperSPARC)
+	s := New(model, Options{})
+	counter := []sparc.Inst{
+		sparc.NewSethi(sparc.G6, 0x100),
+		sparc.NewLoad(sparc.OpLd, sparc.G7, sparc.G6, 0),
+		sparc.NewALUImm(sparc.OpAdd, sparc.G7, sparc.G7, 1),
+		sparc.NewStore(sparc.OpSt, sparc.G7, sparc.G6, 0),
+	}
+	for i := range counter {
+		counter[i].Instrumented = true
+	}
+	fpChain := []sparc.Inst{
+		sparc.NewLoad(sparc.OpLddf, sparc.FReg(0), sparc.O0, 0),
+		sparc.NewALU(sparc.OpFmuld, sparc.FReg(2), sparc.FReg(0), sparc.FReg(4)),
+		sparc.NewALU(sparc.OpFaddd, sparc.FReg(6), sparc.FReg(2), sparc.FReg(8)),
+		sparc.NewStore(sparc.OpStdf, sparc.FReg(6), sparc.O1, 0),
+	}
+	orig := blockCycles(t, model, fpChain)
+	sched := mustSchedule(t, s, append(append([]sparc.Inst(nil), counter...), fpChain...))
+	both := blockCycles(t, model, sched)
+	// The FP chain alone bounds the block; the counter must hide almost
+	// entirely (allow one cycle of slop).
+	if both > orig+1 {
+		t.Errorf("counter not hidden in FP stalls: %d -> %d cycles", orig, both)
+	}
+}
+
+// TestSchedulerSkipsUnknownOpsGracefully: an invalid instruction in a
+// block is an error, not a panic.
+func TestSchedulerSkipsUnknownOpsGracefully(t *testing.T) {
+	s := ultraSched(Options{})
+	if _, err := s.ScheduleBlock([]sparc.Inst{{}, sparc.NewNop()}); err == nil {
+		t.Error("invalid instruction accepted")
+	}
+}
+
+// TestYRegisterSerializes: umul (writes %y) followed by rd %y keeps order.
+func TestYRegisterSerializes(t *testing.T) {
+	s := ultraSched(Options{})
+	block := []sparc.Inst{
+		sparc.NewALU(sparc.OpUmul, sparc.G1, sparc.G2, sparc.G3),
+		{Op: sparc.OpRdy, Rd: sparc.G4},
+		sparc.NewALUImm(sparc.OpAdd, sparc.G5, sparc.O0, 1),
+	}
+	out := mustSchedule(t, s, block)
+	posMul, posRd := -1, -1
+	for i, inst := range out {
+		if inst.Op == sparc.OpUmul {
+			posMul = i
+		}
+		if inst.Op == sparc.OpRdy {
+			posRd = i
+		}
+	}
+	if posMul > posRd {
+		t.Errorf("rd %%y moved above umul: %v", out)
+	}
+}
+
+// TestDoubleRegisterPairOrdering: an fmuld writing %f0/%f1 blocks a later
+// reader of %f1 (the odd half).
+func TestDoubleRegisterPairOrdering(t *testing.T) {
+	s := ultraSched(Options{})
+	block := []sparc.Inst{
+		sparc.NewALU(sparc.OpFmuld, sparc.FReg(0), sparc.FReg(2), sparc.FReg(4)),
+		{Op: sparc.OpFmovs, Rs2: sparc.FReg(1), Rd: sparc.FReg(10)},
+	}
+	out := mustSchedule(t, s, block)
+	if out[0].Op != sparc.OpFmuld {
+		t.Errorf("pair consumer hoisted above producer: %v", out)
+	}
+}

@@ -1,0 +1,390 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"eel/internal/pipe"
+	"eel/internal/sparc"
+	"eel/internal/spawn"
+)
+
+func ultraSched(opts Options) *Scheduler {
+	return New(spawn.MustLoad(spawn.UltraSPARC), opts)
+}
+
+func mustSchedule(t *testing.T, s *Scheduler, block []sparc.Inst) []sparc.Inst {
+	t.Helper()
+	out, err := s.ScheduleBlock(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// blockCycles measures a block on the scheduler's own machine model.
+func blockCycles(t *testing.T, m *spawn.Model, insts []sparc.Inst) int64 {
+	t.Helper()
+	n, err := pipe.SequenceCycles(m, insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// sameMultiset checks the schedule is a permutation (ignoring inserted
+// nops in delay slots).
+func sameMultiset(a, b []sparc.Inst) bool {
+	count := map[sparc.Inst]int{}
+	for _, x := range a {
+		count[x]++
+	}
+	for _, x := range b {
+		count[x]--
+	}
+	for _, n := range count {
+		if n != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestScheduleHidesIndependentWork(t *testing.T) {
+	// A dependent chain interleaved with independent instrumentation: the
+	// scheduler should cover the load-use stall with independent work.
+	s := ultraSched(Options{})
+	block := []sparc.Inst{
+		sparc.NewLoad(sparc.OpLd, sparc.G1, sparc.O0, 0),
+		sparc.NewALUImm(sparc.OpAdd, sparc.G2, sparc.G1, 1), // stalls 2 after ld
+		sparc.NewStore(sparc.OpSt, sparc.G2, sparc.O0, 0),
+		sparc.NewALUImm(sparc.OpAdd, sparc.G3, sparc.G4, 1), // independent
+		sparc.NewALUImm(sparc.OpAdd, sparc.G5, sparc.G6, 1), // independent
+	}
+	out := mustSchedule(t, s, block)
+	if !sameMultiset(block, out) {
+		t.Fatalf("schedule is not a permutation: %v", out)
+	}
+	before := blockCycles(t, s.Model(), block)
+	after := blockCycles(t, s.Model(), out)
+	if after > before {
+		t.Errorf("schedule got worse: %d -> %d cycles", before, after)
+	}
+	if after == before {
+		t.Logf("no improvement (%d cycles); schedule: %v", after, out)
+	}
+}
+
+func TestScheduleRespectsRAW(t *testing.T) {
+	s := ultraSched(Options{})
+	block := []sparc.Inst{
+		sparc.NewALUImm(sparc.OpAdd, sparc.G1, sparc.G2, 1),
+		sparc.NewALUImm(sparc.OpAdd, sparc.G3, sparc.G1, 1),
+		sparc.NewALUImm(sparc.OpAdd, sparc.G4, sparc.G3, 1),
+	}
+	out := mustSchedule(t, s, block)
+	if !reflect.DeepEqual(out, block) {
+		t.Errorf("pure chain reordered: %v", out)
+	}
+}
+
+func TestScheduleRespectsMemoryOrder(t *testing.T) {
+	s := ultraSched(Options{})
+	// Original store then original load: must not swap.
+	block := []sparc.Inst{
+		sparc.NewStore(sparc.OpSt, sparc.G1, sparc.O0, 0),
+		sparc.NewLoad(sparc.OpLd, sparc.G2, sparc.O1, 4),
+	}
+	out := mustSchedule(t, s, block)
+	if out[0].Op != sparc.OpSt {
+		t.Errorf("original store/load reordered: %v", out)
+	}
+}
+
+func TestInstrumentationMemoryMoves(t *testing.T) {
+	// An instrumentation load may move above an original store (the
+	// paper's aliasing exemption), but not when ConservativeMem is set.
+	origStore := sparc.NewStore(sparc.OpSt, sparc.G1, sparc.O0, 0)
+	// The original store's value depends on a slow chain.
+	slow := sparc.NewLoad(sparc.OpLd, sparc.G1, sparc.O2, 0)
+	instLd := sparc.NewLoad(sparc.OpLd, sparc.G3, sparc.G4, 0)
+	instLd.Instrumented = true
+	block := []sparc.Inst{slow, origStore, instLd}
+
+	out := mustSchedule(t, ultraSched(Options{}), block)
+	posStore, posInst := -1, -1
+	for i, inst := range out {
+		if inst == origStore {
+			posStore = i
+		}
+		if inst == instLd {
+			posInst = i
+		}
+	}
+	if posInst > posStore {
+		t.Errorf("instrumentation load did not move above the original store: %v", out)
+	}
+
+	out = mustSchedule(t, ultraSched(Options{ConservativeMem: true}), block)
+	for i, inst := range out {
+		if inst == origStore {
+			posStore = i
+		}
+		if inst == instLd {
+			posInst = i
+		}
+	}
+	if posInst < posStore {
+		t.Errorf("conservative mode let instrumentation pass a store: %v", out)
+	}
+}
+
+func TestInstrumentationStoresKeepMutualOrder(t *testing.T) {
+	s := ultraSched(Options{})
+	st1 := sparc.NewStore(sparc.OpSt, sparc.G1, sparc.G5, 0)
+	st1.Instrumented = true
+	st2 := sparc.NewStore(sparc.OpSt, sparc.G2, sparc.G6, 0)
+	st2.Instrumented = true
+	out := mustSchedule(t, s, []sparc.Inst{st1, st2})
+	if out[0] != st1 || out[1] != st2 {
+		t.Errorf("instrumentation stores reordered: %v", out)
+	}
+}
+
+func TestCTIStaysTerminal(t *testing.T) {
+	s := ultraSched(Options{})
+	block := []sparc.Inst{
+		sparc.NewALUImm(sparc.OpSubcc, sparc.G0, sparc.G1, 10),
+		sparc.NewALUImm(sparc.OpAdd, sparc.G2, sparc.G3, 1),
+		sparc.NewBranch(sparc.CondNE, -4),
+		sparc.NewNop(),
+	}
+	out := mustSchedule(t, s, block)
+	// The delay-slot nop may be dropped when a useful instruction fills
+	// the slot, shrinking the block by one.
+	n := len(out)
+	if n != 3 && n != 4 {
+		t.Fatalf("unexpected block size %d: %v", n, out)
+	}
+	if out[n-2].Op != sparc.OpBicc {
+		t.Errorf("CTI not in terminal position: %v", out)
+	}
+	// The independent add should fill the delay slot (it does not touch
+	// the branch's condition codes).
+	if out[n-1].IsNop() {
+		t.Errorf("delay slot not filled: %v", out)
+	}
+	if out[n-1].Op == sparc.OpSubcc {
+		t.Errorf("cc-setting instruction moved into delay slot of a conditional branch: %v", out)
+	}
+}
+
+func TestDelaySlotNotFilledWithCCProducer(t *testing.T) {
+	s := ultraSched(Options{})
+	// Only instruction is the cc producer: it must not move after the
+	// branch that reads the ccs.
+	block := []sparc.Inst{
+		sparc.NewALUImm(sparc.OpSubcc, sparc.G0, sparc.G1, 10),
+		sparc.NewBranch(sparc.CondNE, -2),
+		sparc.NewNop(),
+	}
+	out := mustSchedule(t, s, block)
+	if out[0].Op != sparc.OpSubcc || out[1].Op != sparc.OpBicc || !out[2].IsNop() {
+		t.Errorf("cc producer misplaced: %v", out)
+	}
+}
+
+func TestCallDelaySlotProtectsO7(t *testing.T) {
+	s := ultraSched(Options{})
+	// An instruction writing %o7 may not fill a call's delay slot.
+	block := []sparc.Inst{
+		sparc.NewALUImm(sparc.OpAdd, sparc.O7, sparc.G1, 1),
+		sparc.NewCall(100),
+		sparc.NewNop(),
+	}
+	out := mustSchedule(t, s, block)
+	if !out[len(out)-1].IsNop() {
+		t.Errorf("o7 writer moved into call delay slot: %v", out)
+	}
+}
+
+func TestAnnulledBranchUntouched(t *testing.T) {
+	s := ultraSched(Options{})
+	block := []sparc.Inst{
+		sparc.NewALUImm(sparc.OpAdd, sparc.G2, sparc.G3, 1),
+		sparc.NewALUImm(sparc.OpAdd, sparc.G4, sparc.G5, 1),
+		{Op: sparc.OpBicc, Cond: sparc.CondNE, Annul: true, Disp: -4},
+		sparc.NewALUImm(sparc.OpAdd, sparc.G6, sparc.G7, 1), // conditional slot
+	}
+	out := mustSchedule(t, s, block)
+	if !reflect.DeepEqual(out, block) {
+		t.Errorf("annulled-branch block was modified: %v", out)
+	}
+}
+
+func TestNoReorderOption(t *testing.T) {
+	s := ultraSched(Options{NoReorder: true})
+	block := []sparc.Inst{
+		sparc.NewLoad(sparc.OpLd, sparc.G1, sparc.O0, 0),
+		sparc.NewALUImm(sparc.OpAdd, sparc.G2, sparc.G1, 1),
+		sparc.NewALUImm(sparc.OpAdd, sparc.G3, sparc.G4, 1),
+	}
+	out := mustSchedule(t, s, block)
+	if !reflect.DeepEqual(out, block) {
+		t.Errorf("NoReorder changed the block: %v", out)
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	s := ultraSched(Options{})
+	if out := mustSchedule(t, s, nil); len(out) != 0 {
+		t.Error("empty block grew")
+	}
+	one := []sparc.Inst{sparc.NewNop()}
+	if out := mustSchedule(t, s, one); !reflect.DeepEqual(out, one) {
+		t.Error("single-instruction block changed")
+	}
+}
+
+func TestSchedulePermutationProperty(t *testing.T) {
+	// Random blocks: the output is always a permutation of the input
+	// (modulo delay-slot nops), never slower on the scheduler's model,
+	// and deterministic.
+	model := spawn.MustLoad(spawn.SuperSPARC)
+	s := New(model, Options{})
+	r := rand.New(rand.NewSource(11))
+	regs := []sparc.Reg{sparc.G1, sparc.G2, sparc.G3, sparc.G4, sparc.O0, sparc.O1, sparc.L0, sparc.L1}
+	var totalBefore, totalAfter int64
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + r.Intn(10)
+		block := make([]sparc.Inst, 0, n)
+		for i := 0; i < n; i++ {
+			switch r.Intn(5) {
+			case 0:
+				block = append(block, sparc.NewLoad(sparc.OpLd, regs[r.Intn(4)], regs[4+r.Intn(4)], int32(4*r.Intn(32))))
+			case 1:
+				block = append(block, sparc.NewStore(sparc.OpSt, regs[r.Intn(4)], regs[4+r.Intn(4)], int32(4*r.Intn(32))))
+			case 2:
+				block = append(block, sparc.NewSethi(regs[r.Intn(len(regs))], int32(r.Intn(1<<20))))
+			default:
+				block = append(block, sparc.NewALU(sparc.OpAdd, regs[r.Intn(len(regs))], regs[r.Intn(len(regs))], regs[r.Intn(len(regs))]))
+			}
+		}
+		out, err := s.ScheduleBlock(block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameMultiset(block, out) {
+			t.Fatalf("trial %d: not a permutation:\n in: %v\nout: %v", trial, block, out)
+		}
+		before := blockCycles(t, model, block)
+		after := blockCycles(t, model, out)
+		// Greedy list scheduling is not optimal and may occasionally lose
+		// a cycle or two on a single block (the paper's de-scheduling
+		// effect); it must win in aggregate, checked below.
+		if after > before+2 {
+			t.Fatalf("trial %d: schedule much slower on own model: %d -> %d\n in: %v\nout: %v",
+				trial, before, after, block, out)
+		}
+		totalBefore += before
+		totalAfter += after
+		again, err := s.ScheduleBlock(block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(out, again) {
+			t.Fatalf("trial %d: non-deterministic schedule", trial)
+		}
+	}
+	if totalAfter > totalBefore {
+		t.Errorf("scheduling lost cycles in aggregate: %d -> %d", totalBefore, totalAfter)
+	}
+}
+
+func TestScheduleRespectsRAWOrderProperty(t *testing.T) {
+	// For random blocks, every (producer, consumer) register pair of the
+	// original order is preserved in the schedule.
+	model := spawn.MustLoad(spawn.UltraSPARC)
+	s := New(model, Options{})
+	r := rand.New(rand.NewSource(13))
+	regs := []sparc.Reg{sparc.G1, sparc.G2, sparc.G3}
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + r.Intn(6)
+		block := make([]sparc.Inst, n)
+		for i := range block {
+			block[i] = sparc.NewALU(sparc.OpAdd,
+				regs[r.Intn(len(regs))], regs[r.Intn(len(regs))], regs[r.Intn(len(regs))])
+		}
+		out, err := s.ScheduleBlock(block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := checkDataOrder(block, out); err != nil {
+			t.Fatalf("trial %d: %v\n in: %v\nout: %v", trial, err, block, out)
+		}
+	}
+}
+
+// checkDataOrder verifies def-use, use-def and def-def orderings survive.
+func checkDataOrder(in, out []sparc.Inst) error {
+	pos := make(map[int]int) // index in `in` -> index in `out`
+	used := make([]bool, len(out))
+	for i, inst := range in {
+		for j, o := range out {
+			if !used[j] && o == inst {
+				pos[i] = j
+				used[j] = true
+				break
+			}
+		}
+	}
+	for i := 0; i < len(in); i++ {
+		for j := i + 1; j < len(in); j++ {
+			if _, ok := intersects(in[i].Defs(nil), in[j].Uses(nil)); ok {
+				if pos[i] > pos[j] {
+					return errOrder(i, j, "RAW")
+				}
+			}
+			if _, ok := intersects(in[i].Uses(nil), in[j].Defs(nil)); ok {
+				if pos[i] > pos[j] {
+					return errOrder(i, j, "WAR")
+				}
+			}
+			if _, ok := intersects(in[i].Defs(nil), in[j].Defs(nil)); ok {
+				if pos[i] > pos[j] {
+					return errOrder(i, j, "WAW")
+				}
+			}
+		}
+	}
+	return nil
+}
+
+type orderErr struct {
+	i, j int
+	kind string
+}
+
+func errOrder(i, j int, kind string) error { return orderErr{i, j, kind} }
+func (e orderErr) Error() string {
+	return e.kind + " order violated between original instructions"
+}
+
+func TestChainFirstAblationDiffers(t *testing.T) {
+	// Construct a block where stalls-first and chain-first disagree on
+	// the first pick; both must still be valid permutations.
+	block := []sparc.Inst{
+		sparc.NewLoad(sparc.OpLd, sparc.G1, sparc.O0, 0),
+		sparc.NewALUImm(sparc.OpAdd, sparc.G2, sparc.G1, 1),
+		sparc.NewALUImm(sparc.OpAdd, sparc.G3, sparc.G2, 1),
+		sparc.NewALUImm(sparc.OpAdd, sparc.G4, sparc.G3, 1),
+		sparc.NewALUImm(sparc.OpAdd, sparc.G5, sparc.G6, 1),
+		sparc.NewALUImm(sparc.OpAdd, sparc.G7, sparc.O1, 1),
+	}
+	a := mustSchedule(t, ultraSched(Options{}), block)
+	b := mustSchedule(t, ultraSched(Options{ChainFirst: true}), block)
+	if !sameMultiset(block, a) || !sameMultiset(block, b) {
+		t.Fatal("ablation schedules are not permutations")
+	}
+}

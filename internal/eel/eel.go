@@ -1,0 +1,242 @@
+// Package eel is the executable editing library: the Go counterpart of
+// EEL (Larus & Schnarr, PLDI '95) extended with the instruction scheduler
+// of the MICRO-29 paper. Its pipeline is the paper's Figure 3:
+//
+//	Executable -> Analyse -> (tool selects and places instrumentation)
+//	           -> Schedule -> new Executable
+//
+// Scheduling happens per basic block as the block is laid out in the new
+// executable, so original and instrumentation instructions are scheduled
+// together.
+package eel
+
+import (
+	"fmt"
+
+	"eel/internal/cfg"
+	"eel/internal/core"
+	"eel/internal/exe"
+	"eel/internal/sparc"
+	"eel/internal/spawn"
+)
+
+// Editor holds an opened executable and its analysis.
+type Editor struct {
+	exe   *exe.Exe
+	insts []sparc.Inst
+	graph *cfg.Graph
+}
+
+// Open decodes an executable's text segment and builds its control-flow
+// graph.
+func Open(x *exe.Exe) (*Editor, error) {
+	if err := x.Validate(); err != nil {
+		return nil, err
+	}
+	insts, err := sparc.DecodeAll(x.Text)
+	if err != nil {
+		return nil, fmt.Errorf("eel: %w", err)
+	}
+	graph, err := cfg.Build(insts)
+	if err != nil {
+		return nil, fmt.Errorf("eel: %w", err)
+	}
+	return &Editor{exe: x, insts: insts, graph: graph}, nil
+}
+
+// Exe returns the opened executable.
+func (ed *Editor) Exe() *exe.Exe { return ed.exe }
+
+// Graph returns the executable's control-flow graph.
+func (ed *Editor) Graph() *cfg.Graph { return ed.graph }
+
+// Insts returns the decoded text segment.
+func (ed *Editor) Insts() []sparc.Inst { return ed.insts }
+
+// Instrumenter is a tool that selects and places instrumentation (the
+// "Profiling Tool" box in Figure 3). Setup runs once, after analysis, and
+// may extend the executable's data segment (e.g. to allocate counters);
+// Instrument returns the instructions to insert at the top of each block,
+// marked Instrumented, or nil to leave the block alone.
+type Instrumenter interface {
+	Setup(ed *Editor) error
+	Instrument(b *cfg.Block) []sparc.Inst
+}
+
+// BlockScheduler reorders one basic block; core.Scheduler implements it.
+// The workload generator plugs in a stronger best-of-N scheduler here to
+// play the role of the vendor compiler.
+type BlockScheduler interface {
+	ScheduleBlock(block []sparc.Inst) ([]sparc.Inst, error)
+}
+
+// Options configure an editing pass.
+type Options struct {
+	// Machine selects the scheduling model. Required when Schedule is set.
+	Machine *spawn.Model
+	// Schedule reorders each edited block (original and instrumentation
+	// instructions together) with the paper's list scheduler.
+	Schedule bool
+	// Sched passes through scheduler options (aliasing rules, ablations).
+	Sched core.Options
+	// SchedPipeline overrides the stall oracle driving the scheduler
+	// (default: the machine's SADL pipeline model). The workload
+	// generator passes a hardware model here to emulate vendor-compiler
+	// scheduling.
+	SchedPipeline core.Pipeline
+	// Scheduler overrides the scheduler entirely.
+	Scheduler BlockScheduler
+}
+
+// Edit produces a new executable: instrumentation from tool (which may be
+// nil for a pure rescheduling pass) is inserted block by block, blocks are
+// optionally scheduled, the text is re-laid-out, and branch and call
+// displacements are re-encoded. The input executable is not modified.
+func (ed *Editor) Edit(tool Instrumenter, opts Options) (*exe.Exe, error) {
+	if opts.Schedule && opts.Machine == nil {
+		return nil, fmt.Errorf("eel: scheduling requested without a machine model")
+	}
+	// Work on a copy so the tool's Setup (data allocation) cannot corrupt
+	// the original image.
+	out := &exe.Exe{
+		Entry:    ed.exe.Entry,
+		TextBase: ed.exe.TextBase,
+		DataBase: ed.exe.DataBase,
+		Data:     append([]byte(nil), ed.exe.Data...),
+		BSSSize:  ed.exe.BSSSize,
+		Symbols:  append([]exe.Symbol(nil), ed.exe.Symbols...),
+	}
+	edited := &Editor{exe: out, insts: ed.insts, graph: ed.graph}
+	if tool != nil {
+		if err := tool.Setup(edited); err != nil {
+			return nil, fmt.Errorf("eel: instrumenter setup: %w", err)
+		}
+	}
+
+	var sched BlockScheduler
+	if opts.Schedule {
+		switch {
+		case opts.Scheduler != nil:
+			sched = opts.Scheduler
+		case opts.SchedPipeline != nil:
+			sched = core.NewWith(opts.SchedPipeline, opts.Machine, opts.Sched)
+		default:
+			sched = core.New(opts.Machine, opts.Sched)
+		}
+	}
+
+	// Pass 1: rebuild each block, recording the new start index of every
+	// old block leader.
+	newStart := make(map[int]int, len(ed.graph.Blocks))
+	var newInsts []sparc.Inst
+	// ctiAt maps the position of each emitted CTI to its owning old block.
+	type pendingCTI struct {
+		newIndex int
+		oldIndex int // old index of the CTI instruction
+	}
+	var pending []pendingCTI
+
+	for _, b := range ed.graph.Blocks {
+		newStart[b.Start] = len(newInsts)
+		block := append([]sparc.Inst(nil), b.Insts...)
+		if tool != nil {
+			if added := tool.Instrument(b); len(added) > 0 {
+				block = append(added, block...)
+			}
+		}
+		if sched != nil {
+			scheduled, err := sched.ScheduleBlock(block)
+			if err != nil {
+				return nil, fmt.Errorf("eel: scheduling block %d: %w", b.Index, err)
+			}
+			block = scheduled
+		}
+		if b.HasCTI {
+			// Locate the CTI in the (possibly reordered, possibly
+			// shrunken) block: it is the unique CTI instruction.
+			pos := -1
+			for i, inst := range block {
+				if inst.IsCTI() {
+					if pos >= 0 {
+						return nil, fmt.Errorf("eel: block %d has multiple CTIs after editing", b.Index)
+					}
+					pos = i
+				}
+			}
+			if pos < 0 || pos != len(block)-2 {
+				return nil, fmt.Errorf("eel: block %d CTI not in terminal position", b.Index)
+			}
+			pending = append(pending, pendingCTI{
+				newIndex: len(newInsts) + pos,
+				oldIndex: b.End - 2,
+			})
+		}
+		newInsts = append(newInsts, block...)
+	}
+
+	// Pass 2: retarget branches and calls.
+	for _, p := range pending {
+		inst := &newInsts[p.newIndex]
+		switch inst.Op {
+		case sparc.OpBicc, sparc.OpFBfcc, sparc.OpCall:
+			oldTarget := p.oldIndex + int(inst.Disp)
+			nt, ok := newStart[oldTarget]
+			if !ok {
+				return nil, fmt.Errorf("eel: CTI target %d is not a block leader", oldTarget)
+			}
+			inst.Disp = int32(nt - p.newIndex)
+		case sparc.OpJmpl:
+			// Indirect: return addresses are produced at run time by the
+			// edited call instructions, so nothing to do.
+		}
+	}
+
+	// Pass 3: encode.
+	words := make([]uint32, len(newInsts))
+	for i, inst := range newInsts {
+		w, err := sparc.Encode(inst)
+		if err != nil {
+			return nil, fmt.Errorf("eel: encoding instruction %d (%v): %w", i, inst, err)
+		}
+		words[i] = w
+	}
+	out.Text = words
+
+	// Remap entry and text symbols through block leaders.
+	remap := func(addr uint32) (uint32, error) {
+		idx, err := ed.exe.IndexOf(addr)
+		if err != nil {
+			return 0, err
+		}
+		ni, ok := newStart[idx]
+		if !ok {
+			return 0, fmt.Errorf("eel: address %#x is not a block leader", addr)
+		}
+		return out.TextBase + uint32(ni)*exe.WordSize, nil
+	}
+	entry, err := remap(ed.exe.Entry)
+	if err != nil {
+		return nil, err
+	}
+	out.Entry = entry
+	for i, s := range out.Symbols {
+		if !ed.exe.InText(s.Addr) {
+			continue
+		}
+		na, err := remap(s.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("eel: symbol %q: %w", s.Name, err)
+		}
+		out.Symbols[i].Addr = na
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("eel: edited executable invalid: %w", err)
+	}
+	return out, nil
+}
+
+// Reschedule is a pure rescheduling pass: no instrumentation, every block
+// reordered by the paper's scheduler (the Table 2 baseline).
+func (ed *Editor) Reschedule(machine *spawn.Model, sched core.Options) (*exe.Exe, error) {
+	return ed.Edit(nil, Options{Machine: machine, Schedule: true, Sched: sched})
+}

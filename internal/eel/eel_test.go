@@ -1,0 +1,266 @@
+package eel
+
+import (
+	"testing"
+
+	"eel/internal/cfg"
+	"eel/internal/core"
+	"eel/internal/exe"
+	"eel/internal/sim"
+	"eel/internal/sparc"
+	"eel/internal/spawn"
+)
+
+func buildExe(t *testing.T, src string) *exe.Exe {
+	t.Helper()
+	insts, err := sparc.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := exe.New()
+	for _, inst := range insts {
+		x.Text = append(x.Text, sparc.MustEncode(inst))
+	}
+	x.AddSymbol("main", x.TextBase, true)
+	return x
+}
+
+const loopProgram = `
+	mov 0, %g1
+	set 100, %g2
+loop:
+	add %g1, 1, %g1
+	cmp %g1, %g2
+	bne loop
+	nop
+	set 300, %g3
+	ta 0
+`
+
+func runG1(t *testing.T, x *exe.Exe) (uint32, uint32, uint64) {
+	t.Helper()
+	in, err := sim.NewInterp(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := in.Run(1e7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted {
+		t.Fatal("did not halt")
+	}
+	return in.Reg(sparc.G1), in.Reg(sparc.G3), res.Steps
+}
+
+func TestOpenAndGraph(t *testing.T) {
+	ed, err := Open(buildExe(t, loopProgram))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ed.Graph().Blocks) != 3 {
+		t.Errorf("blocks = %d, want 3", len(ed.Graph().Blocks))
+	}
+	if len(ed.Insts()) != 8 {
+		t.Errorf("insts = %d, want 8", len(ed.Insts()))
+	}
+}
+
+func TestOpenRejectsBadImages(t *testing.T) {
+	x := exe.New()
+	if _, err := Open(x); err == nil {
+		t.Error("empty image accepted")
+	}
+	x = exe.New()
+	x.Text = []uint32{0} // unimp word
+	if _, err := Open(x); err == nil {
+		t.Error("undecodable text accepted")
+	}
+}
+
+// rescheduleAndRun verifies a pure rescheduling pass preserves behavior.
+func TestReschedulePreservesBehavior(t *testing.T) {
+	x := buildExe(t, loopProgram)
+	g1, g3, steps := runG1(t, x)
+	if g1 != 100 || g3 != 300 {
+		t.Fatalf("baseline wrong: g1=%d g3=%d", g1, g3)
+	}
+
+	ed, err := Open(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, machine := range spawn.Machines() {
+		model := spawn.MustLoad(machine)
+		out, err := ed.Reschedule(model, core.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", machine, err)
+		}
+		ng1, ng3, nsteps := runG1(t, out)
+		if ng1 != g1 || ng3 != g3 {
+			t.Errorf("%s: rescheduled result differs: g1=%d g3=%d", machine, ng1, ng3)
+		}
+		// Rescheduling may drop delay-slot nops, so the dynamic count can
+		// shrink but never grow.
+		if nsteps > steps {
+			t.Errorf("%s: rescheduled run longer: %d > %d", machine, nsteps, steps)
+		}
+	}
+}
+
+// staticAdder inserts "add %g4, 1, %g4" at the top of every block.
+type staticAdder struct{ blocks int }
+
+func (a *staticAdder) Setup(ed *Editor) error { return nil }
+func (a *staticAdder) Instrument(b *cfg.Block) []sparc.Inst {
+	a.blocks++
+	inc := sparc.NewALUImm(sparc.OpAdd, sparc.G4, sparc.G4, 1)
+	inc.Instrumented = true
+	return []sparc.Inst{inc}
+}
+
+func TestEditInsertsInstrumentation(t *testing.T) {
+	x := buildExe(t, loopProgram)
+	ed, err := Open(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool := &staticAdder{}
+	out, err := ed.Edit(tool, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tool.blocks != 3 {
+		t.Errorf("instrumented %d blocks, want 3", tool.blocks)
+	}
+	if len(out.Text) != len(x.Text)+3 {
+		t.Errorf("text grew by %d, want 3", len(out.Text)-len(x.Text))
+	}
+
+	in, err := sim.NewInterp(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := in.Run(1e7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted {
+		t.Fatal("instrumented program did not halt")
+	}
+	if got := in.Reg(sparc.G1); got != 100 {
+		t.Errorf("g1 = %d, want 100", got)
+	}
+	// g4 counts block executions: entry(1) + loop(100) + exit(1).
+	if got := in.Reg(sparc.G4); got != 102 {
+		t.Errorf("g4 = %d, want 102", got)
+	}
+}
+
+func TestEditWithSchedulingPreservesBehavior(t *testing.T) {
+	x := buildExe(t, loopProgram)
+	ed, err := Open(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ed.Edit(&staticAdder{}, Options{
+		Machine:  spawn.MustLoad(spawn.UltraSPARC),
+		Schedule: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := sim.NewInterp(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Run(1e7, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Reg(sparc.G1); got != 100 {
+		t.Errorf("g1 = %d, want 100", got)
+	}
+	if got := in.Reg(sparc.G4); got != 102 {
+		t.Errorf("g4 = %d, want 102", got)
+	}
+}
+
+func TestEditRequiresMachineForScheduling(t *testing.T) {
+	ed, err := Open(buildExe(t, loopProgram))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ed.Edit(nil, Options{Schedule: true}); err == nil {
+		t.Error("scheduling without a machine model accepted")
+	}
+}
+
+func TestCallRetargeting(t *testing.T) {
+	src := `
+	mov 0, %g1
+	mov 0, %g5
+loop:
+	call bump
+	nop
+	add %g5, 1, %g5
+	cmp %g5, 10
+	bne loop
+	nop
+	ta 0
+bump:
+	retl
+	add %g1, 1, %g1
+`
+	x := buildExe(t, src)
+	ed, err := Open(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Instrumentation shifts every block; the call and branches must be
+	// retargeted.
+	out, err := ed.Edit(&staticAdder{}, Options{
+		Machine:  spawn.MustLoad(spawn.SuperSPARC),
+		Schedule: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := sim.NewInterp(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := in.Run(1e6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted {
+		t.Fatal("did not halt")
+	}
+	if got := in.Reg(sparc.G1); got != 10 {
+		t.Errorf("call count = %d, want 10", got)
+	}
+}
+
+func TestEditRemapsSymbolsAndEntry(t *testing.T) {
+	x := buildExe(t, loopProgram)
+	x.AddSymbol("loop", x.TextBase+8, true)
+	ed, err := Open(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ed.Edit(&staticAdder{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Entry != out.TextBase {
+		t.Errorf("entry = %#x, want text base", out.Entry)
+	}
+	s, ok := out.Lookup("loop")
+	if !ok {
+		t.Fatal("loop symbol lost")
+	}
+	// Block 0 gained one instruction, so loop moved from +8 to +12.
+	if s.Addr != out.TextBase+12 {
+		t.Errorf("loop symbol at %#x, want %#x", s.Addr, out.TextBase+12)
+	}
+}

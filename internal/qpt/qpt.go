@@ -1,0 +1,220 @@
+// Package qpt implements QPT2's "slow" profiling instrumentation
+// (Ball & Larus, TOPLAS '94; paper §4.2): a four-instruction sequence —
+// set immediate, load, add, store — that increments a per-block execution
+// counter, inserted into almost every basic block. Blocks with a single
+// instrumented single-exit predecessor, or a single instrumented
+// single-entry successor, are not instrumented; their counts are derived.
+package qpt
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"eel/internal/cfg"
+	"eel/internal/eel"
+	"eel/internal/sparc"
+)
+
+// Scratch registers for the counter sequence. SPARC ABIs reserve %g6 and
+// %g7 for the system; like QPT, the instrumentation claims them, and the
+// workload generator leaves them untouched.
+const (
+	AddrReg = sparc.G6
+	ValReg  = sparc.G7
+)
+
+// SlowProfiler inserts the 4-instruction counter sequence. The zero value
+// is ready to use as an eel.Instrumenter.
+type SlowProfiler struct {
+	// DisablePlacementOpt instruments every block, ignoring the
+	// skip-redundant-blocks optimization (ablation).
+	DisablePlacementOpt bool
+
+	counterBase uint32
+	counterOf   map[int]int // block index -> counter slot
+	derivedFrom map[int]int // skipped block -> donor block
+	graph       *cfg.Graph
+	numCounters int
+}
+
+var _ eel.Instrumenter = (*SlowProfiler)(nil)
+
+// Setup chooses which blocks to instrument and allocates one zeroed
+// 32-bit counter per instrumented block at the end of the data segment.
+func (p *SlowProfiler) Setup(ed *eel.Editor) error {
+	g := ed.Graph()
+	p.graph = g
+	p.counterOf = make(map[int]int)
+	p.derivedFrom = make(map[int]int)
+
+	instrumented := make([]bool, len(g.Blocks))
+	for i := range instrumented {
+		instrumented[i] = true
+	}
+	if !p.DisablePlacementOpt {
+		for _, b := range g.Blocks {
+			// Edges are deduplicated: a conditional branch whose target is
+			// its own fallthrough contributes one logical edge.
+			preds := uniqueBlocks(b.Preds)
+			// Single instrumented single-exit predecessor: the
+			// predecessor's counter counts this block too.
+			if len(preds) == 1 {
+				pred := preds[0]
+				if pred != b && len(uniqueBlocks(pred.Succs)) == 1 && instrumented[pred.Index] {
+					instrumented[b.Index] = false
+					p.derivedFrom[b.Index] = pred.Index
+					continue
+				}
+			}
+			// Single instrumented single-entry successor.
+			succs := uniqueBlocks(b.Succs)
+			if len(succs) == 1 {
+				succ := succs[0]
+				if succ != b && len(uniqueBlocks(succ.Preds)) == 1 && instrumented[succ.Index] {
+					instrumented[b.Index] = false
+					p.derivedFrom[b.Index] = succ.Index
+				}
+			}
+		}
+	}
+
+	// Break donor cycles (possible in unreachable block pairs): any block
+	// whose donor chain never reaches an instrumented block is
+	// re-instrumented.
+	for _, b := range g.Blocks {
+		idx := b.Index
+		steps := 0
+		for !instrumented[idx] {
+			next, ok := p.derivedFrom[idx]
+			if !ok || steps > len(g.Blocks) {
+				instrumented[b.Index] = true
+				delete(p.derivedFrom, b.Index)
+				break
+			}
+			idx = next
+			steps++
+		}
+	}
+
+	x := ed.Exe()
+	// Counters live past the initialized data, 4-byte aligned.
+	base := x.DataEnd()
+	if rem := base % 4; rem != 0 {
+		pad := 4 - rem
+		x.Data = append(x.Data, make([]byte, pad)...)
+		base += pad
+	}
+	p.counterBase = base
+	for _, b := range g.Blocks {
+		if instrumented[b.Index] {
+			p.counterOf[b.Index] = p.numCounters
+			p.numCounters++
+		}
+	}
+	x.Data = append(x.Data, make([]byte, 4*p.numCounters)...)
+	x.AddSymbol("__qpt_counters", base, false)
+	return nil
+}
+
+// CounterBase returns the address of the first counter.
+func (p *SlowProfiler) CounterBase() uint32 { return p.counterBase }
+
+// NumCounters returns the number of allocated counters.
+func (p *SlowProfiler) NumCounters() int { return p.numCounters }
+
+// Instrumented reports whether block b received a counter.
+func (p *SlowProfiler) Instrumented(b int) bool {
+	_, ok := p.counterOf[b]
+	return ok
+}
+
+// Instrument returns the slow-profiling sequence for a block:
+//
+//	sethi %hi(counter), %g6
+//	ld    [%g6 + %lo(counter)], %g7
+//	add   %g7, 1, %g7
+//	st    %g7, [%g6 + %lo(counter)]
+//
+// Every instruction is marked Instrumented so the scheduler applies the
+// paper's relaxed memory-aliasing rule.
+func (p *SlowProfiler) Instrument(b *cfg.Block) []sparc.Inst {
+	slot, ok := p.counterOf[b.Index]
+	if !ok {
+		return nil
+	}
+	addr := p.counterBase + uint32(4*slot)
+	hi := int32(addr >> 10)
+	lo := int32(addr & 0x3ff)
+	seq := []sparc.Inst{
+		sparc.NewSethi(AddrReg, hi),
+		sparc.NewLoad(sparc.OpLd, ValReg, AddrReg, lo),
+		sparc.NewALUImm(sparc.OpAdd, ValReg, ValReg, 1),
+		sparc.NewStore(sparc.OpSt, ValReg, AddrReg, lo),
+	}
+	for i := range seq {
+		seq[i].Instrumented = true
+	}
+	return seq
+}
+
+// Counts reconstructs per-block execution counts from the counter memory
+// of a finished run. mem must expose the edited executable's data segment
+// (read32 returns the word at an absolute address). Skipped blocks resolve
+// through their donor block, following chains.
+func (p *SlowProfiler) Counts(read32 func(addr uint32) uint32) (map[int]uint64, error) {
+	if p.graph == nil {
+		return nil, fmt.Errorf("qpt: Counts before Setup")
+	}
+	out := make(map[int]uint64, len(p.graph.Blocks))
+	for _, b := range p.graph.Blocks {
+		idx := b.Index
+		seen := 0
+		for {
+			if slot, ok := p.counterOf[idx]; ok {
+				out[b.Index] = uint64(read32(p.counterBase + uint32(4*slot)))
+				break
+			}
+			donor, ok := p.derivedFrom[idx]
+			if !ok {
+				return nil, fmt.Errorf("qpt: block %d has no counter and no donor", idx)
+			}
+			idx = donor
+			if seen++; seen > len(p.graph.Blocks) {
+				return nil, fmt.Errorf("qpt: donor cycle at block %d", b.Index)
+			}
+		}
+	}
+	return out, nil
+}
+
+// ReadCounterData decodes counter values straight from an executable's
+// data segment image.
+func ReadCounterData(data []byte, dataBase, counterBase uint32, n int) ([]uint32, error) {
+	off := int(counterBase - dataBase)
+	if off < 0 || off+4*n > len(data) {
+		return nil, fmt.Errorf("qpt: counter area [%d,%d) outside data segment", off, off+4*n)
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = binary.BigEndian.Uint32(data[off+4*i:])
+	}
+	return out, nil
+}
+
+// uniqueBlocks deduplicates an edge list in place-order.
+func uniqueBlocks(bs []*cfg.Block) []*cfg.Block {
+	out := bs[:0:0]
+	for _, b := range bs {
+		dup := false
+		for _, o := range out {
+			if o == b {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, b)
+		}
+	}
+	return out
+}

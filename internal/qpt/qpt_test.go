@@ -1,0 +1,268 @@
+package qpt
+
+import (
+	"testing"
+
+	"eel/internal/eel"
+	"eel/internal/exe"
+	"eel/internal/sim"
+	"eel/internal/sparc"
+	"eel/internal/spawn"
+)
+
+func buildExe(t *testing.T, src string) *exe.Exe {
+	t.Helper()
+	insts, err := sparc.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := exe.New()
+	for _, inst := range insts {
+		x.Text = append(x.Text, sparc.MustEncode(inst))
+	}
+	x.AddSymbol("main", x.TextBase, true)
+	return x
+}
+
+const diamondLoop = `
+	mov 0, %g1
+	set 50, %g2
+loop:
+	and %g1, 1, %g3
+	cmp %g3, 0
+	be even
+	nop
+	add %g1, 1, %g1
+	ba next
+	nop
+even:
+	add %g1, 1, %g1
+next:
+	cmp %g1, %g2
+	bne loop
+	nop
+	ta 0
+`
+
+// trueCounts runs the ORIGINAL program with an observer that counts block
+// entries, giving ground truth for the profile.
+func trueCounts(t *testing.T, x *exe.Exe, ed *eel.Editor) map[int]uint64 {
+	t.Helper()
+	in, err := sim.NewInterp(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ed.Graph()
+	startOf := make(map[int]int) // inst index -> block index
+	for _, b := range g.Blocks {
+		startOf[b.Start] = b.Index
+	}
+	counts := make(map[int]uint64)
+	_, err = in.Run(1e7, func(idx int, inst *sparc.Inst) {
+		if bi, ok := startOf[idx]; ok {
+			counts[bi]++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return counts
+}
+
+func profileAndCompare(t *testing.T, src string, schedule bool, disableOpt bool) {
+	t.Helper()
+	x := buildExe(t, src)
+	ed, err := eel.Open(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := trueCounts(t, x, ed)
+
+	prof := &SlowProfiler{DisablePlacementOpt: disableOpt}
+	opts := eel.Options{}
+	if schedule {
+		opts.Machine = spawn.MustLoad(spawn.UltraSPARC)
+		opts.Schedule = true
+	}
+	out, err := ed.Edit(prof, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	in, err := sim.NewInterp(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := in.Run(1e7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted {
+		t.Fatal("instrumented program did not halt")
+	}
+
+	got, err := prof.Counts(in.Mem().Read32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bi, w := range want {
+		if got[bi] != w {
+			t.Errorf("block %d: profiled %d, true %d (schedule=%v opt=%v)",
+				bi, got[bi], w, schedule, !disableOpt)
+		}
+	}
+	// A block never entered must profile zero.
+	for bi, g := range got {
+		if want[bi] == 0 && g != 0 {
+			t.Errorf("block %d: profiled %d but never executed", bi, g)
+		}
+	}
+}
+
+func TestProfileCountsMatchGroundTruth(t *testing.T) {
+	profileAndCompare(t, diamondLoop, false, false)
+}
+
+func TestProfileCountsWithScheduling(t *testing.T) {
+	profileAndCompare(t, diamondLoop, true, false)
+}
+
+func TestProfileCountsNoPlacementOpt(t *testing.T) {
+	profileAndCompare(t, diamondLoop, false, true)
+}
+
+func TestPlacementOptimizationSkipsBlocks(t *testing.T) {
+	// A call block falls through to its return point: the return-point
+	// block has a single single-exit predecessor, so it needs no counter.
+	src := `
+	mov 1, %g1
+	call f
+	nop
+	mov 2, %g2
+	ta 0
+f:
+	retl
+	nop
+`
+	x := buildExe(t, src)
+	ed, err := eel.Open(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := &SlowProfiler{DisablePlacementOpt: true}
+	if err := full.Setup(ed); err != nil {
+		t.Fatal(err)
+	}
+	opt := &SlowProfiler{}
+	ed2, err := eel.Open(buildExe(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := opt.Setup(ed2); err != nil {
+		t.Fatal(err)
+	}
+	if opt.NumCounters() >= full.NumCounters() {
+		t.Errorf("placement optimization saved nothing: %d vs %d",
+			opt.NumCounters(), full.NumCounters())
+	}
+}
+
+func TestInstrumentSequenceShape(t *testing.T) {
+	x := buildExe(t, diamondLoop)
+	ed, err := eel.Open(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := &SlowProfiler{}
+	if err := prof.Setup(ed); err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, b := range ed.Graph().Blocks {
+		seq := prof.Instrument(b)
+		if seq == nil {
+			continue
+		}
+		found = true
+		if len(seq) != 4 {
+			t.Fatalf("sequence has %d instructions, want 4", len(seq))
+		}
+		if seq[0].Op != sparc.OpSethi || seq[1].Op != sparc.OpLd ||
+			seq[2].Op != sparc.OpAdd || seq[3].Op != sparc.OpSt {
+			t.Errorf("sequence shape wrong: %v", seq)
+		}
+		for i, inst := range seq {
+			if !inst.Instrumented {
+				t.Errorf("instruction %d not marked Instrumented", i)
+			}
+		}
+		// The load and store must address the same counter.
+		if seq[1].Imm != seq[3].Imm || seq[1].Rs1 != seq[3].Rs1 {
+			t.Error("load/store address mismatch")
+		}
+	}
+	if !found {
+		t.Fatal("no block instrumented")
+	}
+	if prof.CounterBase() < ed.Exe().DataBase {
+		t.Error("counters below the data segment")
+	}
+}
+
+func TestCountsBeforeSetupFails(t *testing.T) {
+	p := &SlowProfiler{}
+	if _, err := p.Counts(func(uint32) uint32 { return 0 }); err == nil {
+		t.Error("Counts before Setup succeeded")
+	}
+}
+
+func TestReadCounterData(t *testing.T) {
+	data := []byte{0, 0, 0, 5, 0, 0, 0, 9}
+	vals, err := ReadCounterData(data, 0x1000, 0x1000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 5 || vals[1] != 9 {
+		t.Errorf("vals = %v", vals)
+	}
+	if _, err := ReadCounterData(data, 0x1000, 0x1004, 2); err == nil {
+		t.Error("out-of-range counters accepted")
+	}
+}
+
+// TestSelfLoopGetsCounter: a block that is its own predecessor must keep
+// its counter (the donor rules exclude self edges).
+func TestSelfLoopGetsCounter(t *testing.T) {
+	src := `
+	mov 0, %g1
+loop:
+	add %g1, 1, %g1
+	cmp %g1, 10
+	bne loop
+	nop
+	ta 0
+`
+	x := buildExe(t, src)
+	ed, err := eel.Open(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := &SlowProfiler{}
+	if err := prof.Setup(ed); err != nil {
+		t.Fatal(err)
+	}
+	var loopBlock int = -1
+	for _, b := range ed.Graph().Blocks {
+		for _, s := range b.Succs {
+			if s == b {
+				loopBlock = b.Index
+			}
+		}
+	}
+	if loopBlock < 0 {
+		t.Fatal("no self-loop block found")
+	}
+	if !prof.Instrumented(loopBlock) {
+		t.Error("self-loop block lost its counter")
+	}
+}

@@ -1,0 +1,190 @@
+package qpt
+
+import (
+	"reflect"
+	"testing"
+
+	"eel/internal/eel"
+	"eel/internal/sim"
+	"eel/internal/sparc"
+	"eel/internal/spawn"
+	"eel/internal/workload"
+)
+
+// traceGroundTruth records the true block entry sequence.
+func traceGroundTruth(t *testing.T, src string) ([]int, *eel.Editor) {
+	t.Helper()
+	x := buildExe(t, src)
+	ed, err := eel.Open(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	startOf := make(map[int]int)
+	for _, b := range ed.Graph().Blocks {
+		startOf[b.Start] = b.Index
+	}
+	in, err := sim.NewInterp(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seq []int
+	if _, err := in.Run(1e7, func(idx int, inst *sparc.Inst) {
+		if bi, ok := startOf[idx]; ok {
+			seq = append(seq, bi)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return seq, ed
+}
+
+func runTracer(t *testing.T, ed *eel.Editor, tracer *BlockTracer, schedule bool) []int {
+	t.Helper()
+	opts := eel.Options{}
+	if schedule {
+		opts.Machine = spawn.MustLoad(spawn.UltraSPARC)
+		opts.Schedule = true
+	}
+	out, err := ed.Edit(tracer, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := sim.NewInterp(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := in.Run(1e7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted {
+		t.Fatal("traced program did not halt")
+	}
+	trace, err := tracer.Trace(in.Mem().Read32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace
+}
+
+func TestTraceMatchesGroundTruth(t *testing.T) {
+	want, ed := traceGroundTruth(t, diamondLoop)
+	for _, schedule := range []bool{false, true} {
+		got := runTracer(t, ed, &BlockTracer{Entries: 1 << 12}, schedule)
+		if !reflect.DeepEqual(got, want) {
+			n := len(got)
+			if len(want) < n {
+				n = len(want)
+			}
+			for i := 0; i < n; i++ {
+				if got[i] != want[i] {
+					t.Fatalf("schedule=%v: trace diverges at %d: got %d want %d",
+						schedule, i, got[i], want[i])
+				}
+			}
+			t.Fatalf("schedule=%v: trace length %d, want %d", schedule, len(got), len(want))
+		}
+	}
+}
+
+func TestTraceWrap(t *testing.T) {
+	// A 16-entry circular buffer: the slots before the cursor hold the
+	// most recent records, so Trace returns exactly the tail of the true
+	// sequence.
+	want, ed := traceGroundTruth(t, diamondLoop)
+	tracer := &BlockTracer{Entries: 16, Wrap: true}
+	got := runTracer(t, ed, tracer, false)
+	if len(got) > 16 {
+		t.Fatalf("wrapped trace has %d entries", len(got))
+	}
+	tail := want[len(want)-len(got):]
+	if !reflect.DeepEqual(got, tail) {
+		t.Errorf("wrapped trace:\n got %v\nwant %v", got, tail)
+	}
+}
+
+func TestTraceWrapSizeLimit(t *testing.T) {
+	x := buildExe(t, diamondLoop)
+	ed, err := eel.Open(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ed.Edit(&BlockTracer{Entries: 1 << 12, Wrap: true}, eel.Options{}); err == nil {
+		t.Error("oversized wrap buffer accepted")
+	}
+}
+
+func TestTraceWrapRequiresPowerOfTwo(t *testing.T) {
+	x := buildExe(t, diamondLoop)
+	ed, err := eel.Open(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ed.Edit(&BlockTracer{Entries: 100, Wrap: true}, eel.Options{}); err == nil {
+		t.Error("non-power-of-two wrap accepted")
+	}
+}
+
+func TestTraceBeforeSetupFails(t *testing.T) {
+	tr := &BlockTracer{}
+	if _, err := tr.Trace(func(uint32) uint32 { return 0 }); err == nil {
+		t.Error("Trace before Setup succeeded")
+	}
+}
+
+func TestTraceOverflowDetected(t *testing.T) {
+	_, ed := traceGroundTruth(t, diamondLoop)
+	tracer := &BlockTracer{Entries: 8} // far too small, no wrap
+	opts := eel.Options{}
+	out, err := ed.Edit(tracer, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := sim.NewInterp(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Run(1e7, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tracer.Trace(in.Mem().Read32); err == nil {
+		t.Error("overflowed trace read back without error")
+	}
+}
+
+func TestTraceOnWorkload(t *testing.T) {
+	// Tracing a generated benchmark must preserve behavior and produce a
+	// well-formed trace under scheduling.
+	b, _ := workload.ByName("129.compress", spawn.UltraSPARC)
+	x, err := workload.Generate(b, workload.Config{DynamicInsts: 60_000, SkipCalibration: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ed, err := eel.Open(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := &BlockTracer{Entries: 1 << 10, Wrap: true}
+	out, err := ed.Edit(tracer, eel.Options{Machine: spawn.MustLoad(spawn.UltraSPARC), Schedule: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := sim.NewInterp(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := in.Run(1e8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted {
+		t.Fatal("traced workload did not halt")
+	}
+	trace, err := tracer.Trace(in.Mem().Read32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) == 0 {
+		t.Error("empty trace")
+	}
+}

@@ -1,0 +1,192 @@
+package sadl
+
+// File is a parsed SADL description.
+type File struct {
+	Units     []UnitDecl
+	Registers []RegisterDecl
+	Aliases   []AliasDecl
+	Vals      []ValDecl
+	Sems      []SemDecl
+}
+
+// UnitDecl declares a microarchitecture resource and its multiplicity:
+// "unit ALU 1, ALUr 2".
+type UnitDecl struct {
+	Name  string
+	Count int
+	Line  int
+}
+
+// RegisterDecl declares an architectural register file:
+// "register untyped{32} R[32]". A Count of 0 declares an unbounded file
+// (used to model memory).
+type RegisterDecl struct {
+	Type  TypeSpec
+	Name  string
+	Count int
+	Line  int
+}
+
+// AliasDecl declares a typed accessor over a register file that can attach
+// resource usage: "alias signed{32} R4r[i] is AR ALUr, R[i]".
+type AliasDecl struct {
+	Type  TypeSpec
+	Name  string
+	Param string
+	Body  Expr
+	Line  int
+}
+
+// ValDecl binds one name (Names of length 1) or a vector of names to an
+// expression: "val multi is AR Group, ()" or
+// "val [ + - ] is (\op....) @ [ add32 sub32 ]". Val bodies are macros:
+// they are re-evaluated at each use site.
+type ValDecl struct {
+	Names []string
+	Body  Expr
+	Line  int
+}
+
+// SemDecl binds instruction mnemonics to semantic expressions.
+type SemDecl struct {
+	Names []string
+	Body  Expr
+	Line  int
+}
+
+// TypeSpec is a register/alias element type, e.g. signed{32}.
+type TypeSpec struct {
+	Kind  string // "untyped", "signed", "unsigned"
+	Width int
+}
+
+// Expr is a SADL expression node.
+type Expr interface{ exprNode() }
+
+// Ident references a bound name (val, alias, register file, lambda
+// parameter, local := binding, builtin op, or marker).
+type Ident struct {
+	Name string
+	Line int
+}
+
+// Num is an integer literal.
+type Num struct {
+	Value int
+	Line  int
+}
+
+// FieldRef is an instruction-encoding field immediate: #simm13, #imm22.
+type FieldRef struct {
+	Name string
+	Line int
+}
+
+// UnitVal is the unit value ().
+type UnitVal struct{ Line int }
+
+// Lambda is \param. body.
+type Lambda struct {
+	Param string
+	Body  Expr
+	Line  int
+}
+
+// Apply is juxtaposition application: Fn Arg.
+type Apply struct {
+	Fn, Arg Expr
+	Line    int
+}
+
+// VectorApply is f @ [ e1 e2 ... ]: element-wise application producing a
+// vector value.
+type VectorApply struct {
+	Fn   Expr
+	Args []Expr
+	Line int
+}
+
+// Vector is a bracketed vector literal of expressions.
+type Vector struct {
+	Elems []Expr
+	Line  int
+}
+
+// Seq is comma sequencing; the value is the last element's value.
+type Seq struct {
+	Elems []Expr
+	Line  int
+}
+
+// Assign binds a local name ("x := e") or writes a register/alias
+// element ("R4w[rd] := e").
+type Assign struct {
+	// Target is either Ident (local binding) or Index (register write).
+	Target Expr
+	Value  Expr
+	Line   int
+}
+
+// Index is subscripting: base[index]. Base must name a register file or
+// alias; a register file indexed by a field records a register access.
+type Index struct {
+	Base Expr
+	Idx  Expr
+	Line int
+}
+
+// Cond is "cond ? then : else".
+type Cond struct {
+	Test, Then, Else Expr
+	Line             int
+}
+
+// Eq is the comparison "a = b" (used in field tests like iflag=1).
+type Eq struct {
+	A, B Expr
+	Line int
+}
+
+// Acquire is the A command; Release the R command; AcqRel the AR command;
+// Advance the D command.
+type Acquire struct {
+	Unit string
+	Num  Expr // nil means 1
+	Line int
+}
+
+type Release struct {
+	Unit string
+	Num  Expr // nil means 1
+	Line int
+}
+
+type AcqRel struct {
+	Unit  string
+	Num   Expr // nil means 1
+	Delay Expr // nil means 1
+	Line  int
+}
+
+type Advance struct {
+	Delay Expr // nil means 1
+	Line  int
+}
+
+func (Ident) exprNode()       {}
+func (Num) exprNode()         {}
+func (FieldRef) exprNode()    {}
+func (UnitVal) exprNode()     {}
+func (Lambda) exprNode()      {}
+func (Apply) exprNode()       {}
+func (VectorApply) exprNode() {}
+func (Vector) exprNode()      {}
+func (Seq) exprNode()         {}
+func (Assign) exprNode()      {}
+func (Index) exprNode()       {}
+func (Cond) exprNode()        {}
+func (Eq) exprNode()          {}
+func (Acquire) exprNode()     {}
+func (Release) exprNode()     {}
+func (AcqRel) exprNode()      {}
+func (Advance) exprNode()     {}

@@ -1,0 +1,772 @@
+package sadl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Record is the timing information Spawn extracts from one instruction
+// variant's semantic expression: exactly the data the paper's
+// pipeline_stalls function consumes (Appendix A).
+//
+// Cycle numbers are relative to the instruction's issue. A write's Avail
+// cycle is the first cycle in which a subsequent instruction can read the
+// value (the paper's convention: a value computed in cycle c becomes
+// available in cycle c+1, modeling forwarding).
+type Record struct {
+	Cycles    int                 // total pipeline occupancy in cycles
+	Acquire   map[int][]UnitEvent // unit acquisitions per cycle
+	Release   map[int][]UnitEvent // unit releases per cycle
+	Reads     []RegRead
+	Writes    []RegWrite
+	MemReads  []int // cycles of memory reads
+	MemWrites []int // cycles of memory writes
+	Markers   []string
+}
+
+// UnitEvent is an acquisition or release of Num copies of a unit.
+type UnitEvent struct {
+	Unit string
+	Num  int
+}
+
+// RegRead records that the register named by an encoding field (or a fixed
+// index when Field is empty) of file File is read in cycle Cycle.
+type RegRead struct {
+	File  string
+	Field string
+	Index int
+	Cycle int
+}
+
+// RegWrite records that the register named by an encoding field (or fixed
+// index) of file File receives a value that becomes available in cycle
+// Avail.
+type RegWrite struct {
+	File  string
+	Field string
+	Index int
+	Avail int
+}
+
+// Key returns a canonical string identifying the timing pattern; Spawn
+// groups instructions with equal keys ("instructions with identical timing
+// and resource allocation patterns are grouped together").
+func (r *Record) Key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "c%d;", r.Cycles)
+	cycles := make([]int, 0, len(r.Acquire)+len(r.Release))
+	seen := map[int]bool{}
+	for c := range r.Acquire {
+		if !seen[c] {
+			cycles = append(cycles, c)
+			seen[c] = true
+		}
+	}
+	for c := range r.Release {
+		if !seen[c] {
+			cycles = append(cycles, c)
+			seen[c] = true
+		}
+	}
+	sort.Ints(cycles)
+	for _, c := range cycles {
+		fmt.Fprintf(&b, "@%d", c)
+		for _, e := range r.Acquire[c] {
+			fmt.Fprintf(&b, "+%s*%d", e.Unit, e.Num)
+		}
+		for _, e := range r.Release[c] {
+			fmt.Fprintf(&b, "-%s*%d", e.Unit, e.Num)
+		}
+	}
+	b.WriteByte(';')
+	for _, rd := range r.Reads {
+		fmt.Fprintf(&b, "r%s.%s.%d@%d", rd.File, rd.Field, rd.Index, rd.Cycle)
+	}
+	for _, wr := range r.Writes {
+		fmt.Fprintf(&b, "w%s.%s.%d@%d", wr.File, wr.Field, wr.Index, wr.Avail)
+	}
+	for _, c := range r.MemReads {
+		fmt.Fprintf(&b, "mr@%d", c)
+	}
+	for _, c := range r.MemWrites {
+		fmt.Fprintf(&b, "mw@%d", c)
+	}
+	b.WriteByte(';')
+	for _, m := range r.Markers {
+		b.WriteString(m)
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// HasMarker reports whether the semantic expression evaluated the named
+// marker (e.g. "isShift").
+func (r *Record) HasMarker(name string) bool {
+	for _, m := range r.Markers {
+		if m == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Values
+
+type value interface{}
+
+type (
+	vUnit struct{}
+	vNum  int
+	// vThunk is an unevaluated expression closed over an environment.
+	// Lambda arguments and val macros are thunks (call-by-name), so
+	// timing side effects fire at the use site, as the paper's macro
+	// ("val declarations act like macros") semantics require.
+	vThunk struct {
+		expr Expr
+		env  *env
+	}
+	vClosure struct {
+		param string
+		body  Expr
+		env   *env
+	}
+	vVector []value
+	// vOperand is a data value; definedAt is the cycle its computation
+	// finishes (-1 for immediates, always available).
+	vOperand struct{ definedAt int }
+	// vRegFile references a declared register file.
+	vRegFile struct{ decl RegisterDecl }
+	// vAlias references a declared alias accessor.
+	vAlias struct{ decl AliasDecl }
+	// vFieldName is a register-designating encoding field (rs1, rs2, rd).
+	vFieldName string
+	// vMarker is a declared classification marker (isShift, ...).
+	vMarker string
+	// vBuiltin is a (possibly partially applied) semantic operator.
+	vBuiltin struct {
+		name  string
+		arity int
+		args  []value
+	}
+)
+
+// builtinOps lists the semantic operators descriptions may use, with their
+// arity. They model computation only; the result's definedAt is the cycle
+// in which the fully applied operator is evaluated.
+var builtinOps = map[string]int{
+	"add32": 2, "sub32": 2, "and32": 2, "andn32": 2, "or32": 2, "orn32": 2,
+	"xor32": 2, "xnor32": 2, "sll32": 2, "srl32": 2, "sra32": 2,
+	"mul32": 2, "div32": 2, "addcc32": 2, "subcc32": 2,
+	"hi22": 1, "neg32": 1, "not32": 1,
+	"fadd": 2, "fsub": 2, "fmul": 2, "fdiv": 2, "fcmp": 2,
+	"fsqrt": 1, "fmov": 1, "fneg": 1, "fabs": 1, "cvt": 1,
+	"pcrel": 1, "ident": 1,
+}
+
+// markers that may be referenced without declaration; they classify
+// instructions for schedulers with grouping rules.
+var builtinMarkers = map[string]bool{
+	"isShift": true, "isLoad": true, "isStore": true, "isBranch": true,
+	"isCall": true, "isMulDiv": true, "isFPDiv": true, "isCTI": true,
+}
+
+// register-designating fields.
+var regFields = map[string]bool{"rs1": true, "rs2": true, "rd": true}
+
+// immediate fields usable as #field data references.
+var immFields = map[string]bool{
+	"simm13": true, "imm22": true, "disp22": true, "disp30": true,
+	"sw_trap": true, "shcnt": true,
+}
+
+// ---------------------------------------------------------------------------
+// Environment
+
+type env struct {
+	parent *env
+	vars   map[string]value
+}
+
+func newEnv(parent *env) *env {
+	return &env{parent: parent, vars: make(map[string]value)}
+}
+
+func (e *env) lookup(name string) (value, bool) {
+	for s := e; s != nil; s = s.parent {
+		if v, ok := s.vars[name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+func (e *env) define(name string, v value) { e.vars[name] = v }
+
+// ---------------------------------------------------------------------------
+// Evaluator
+
+// Evaluator analyzes a parsed SADL file: it validates declarations, builds
+// the global environment, and evaluates instruction semantics into timing
+// Records.
+type Evaluator struct {
+	file    *File
+	global  *env
+	units   map[string]int // unit name -> copies
+	sems    map[string]Expr
+	semList []string
+}
+
+// NewEvaluator validates the file and prepares it for timing queries.
+func NewEvaluator(f *File) (*Evaluator, error) {
+	ev := &Evaluator{
+		file:   f,
+		global: newEnv(nil),
+		units:  make(map[string]int),
+		sems:   make(map[string]Expr),
+	}
+	for _, u := range f.Units {
+		if _, dup := ev.units[u.Name]; dup {
+			return nil, fmt.Errorf("sadl: line %d: unit %q redeclared", u.Line, u.Name)
+		}
+		if u.Count <= 0 {
+			return nil, fmt.Errorf("sadl: line %d: unit %q needs a positive count", u.Line, u.Name)
+		}
+		ev.units[u.Name] = u.Count
+	}
+	for _, r := range f.Registers {
+		if _, dup := ev.global.lookup(r.Name); dup {
+			return nil, fmt.Errorf("sadl: line %d: %q redeclared", r.Line, r.Name)
+		}
+		ev.global.define(r.Name, vRegFile{decl: r})
+	}
+	for _, a := range f.Aliases {
+		if _, dup := ev.global.lookup(a.Name); dup {
+			return nil, fmt.Errorf("sadl: line %d: %q redeclared", a.Line, a.Name)
+		}
+		ev.global.define(a.Name, vAlias{decl: a})
+	}
+	for _, v := range f.Vals {
+		if err := ev.defineNames(v.Names, v.Body, v.Line, ev.global); err != nil {
+			return nil, err
+		}
+	}
+	for _, s := range f.Sems {
+		exprs, err := splitVector(s.Names, s.Body, s.Line)
+		if err != nil {
+			return nil, err
+		}
+		for i, name := range s.Names {
+			if _, dup := ev.sems[name]; dup {
+				return nil, fmt.Errorf("sadl: line %d: sem %q redeclared", s.Line, name)
+			}
+			ev.sems[name] = exprs[i]
+			ev.semList = append(ev.semList, name)
+		}
+	}
+	return ev, nil
+}
+
+// defineNames binds a val declaration's names. A vector declaration
+// "val [a b] is f @ [x y]" binds a to (f x) and b to (f y), each as an
+// unevaluated thunk so side effects fire at use sites.
+func (ev *Evaluator) defineNames(names []string, body Expr, line int, scope *env) error {
+	exprs, err := splitVector(names, body, line)
+	if err != nil {
+		return err
+	}
+	for i, name := range names {
+		if _, dup := scope.lookup(name); dup {
+			return fmt.Errorf("sadl: line %d: %q redeclared", line, name)
+		}
+		scope.define(name, vThunk{expr: exprs[i], env: scope})
+	}
+	return nil
+}
+
+// splitVector maps an n-name declaration onto n expressions. For a single
+// name the body is used whole. For a vector of names the body must be a
+// VectorApply with matching arity; element i becomes Apply(fn, args[i]).
+func splitVector(names []string, body Expr, line int) ([]Expr, error) {
+	if len(names) == 1 {
+		return []Expr{body}, nil
+	}
+	va, ok := body.(VectorApply)
+	if !ok {
+		return nil, fmt.Errorf("sadl: line %d: vector declaration needs 'fn @ [args]' body", line)
+	}
+	if len(va.Args) != len(names) {
+		return nil, fmt.Errorf("sadl: line %d: %d names but %d vector arguments",
+			line, len(names), len(va.Args))
+	}
+	exprs := make([]Expr, len(names))
+	for i := range names {
+		exprs[i] = Apply{Fn: va.Fn, Arg: va.Args[i], Line: va.Line}
+	}
+	return exprs, nil
+}
+
+// SemNames returns the declared instruction mnemonics in declaration order.
+func (ev *Evaluator) SemNames() []string { return append([]string(nil), ev.semList...) }
+
+// Units returns the declared unit multiplicities.
+func (ev *Evaluator) Units() map[string]int {
+	out := make(map[string]int, len(ev.units))
+	for k, v := range ev.units {
+		out[k] = v
+	}
+	return out
+}
+
+// HasSem reports whether the description declares semantics for name.
+func (ev *Evaluator) HasSem(name string) bool {
+	_, ok := ev.sems[name]
+	return ok
+}
+
+// Timing evaluates the semantics of instruction name under concrete
+// encoding fields (typically {"iflag": 0 or 1}) and returns its timing
+// record.
+func (ev *Evaluator) Timing(name string, fields map[string]int) (*Record, error) {
+	body, ok := ev.sems[name]
+	if !ok {
+		return nil, fmt.Errorf("sadl: no semantics for instruction %q", name)
+	}
+	a := &analysis{
+		ev: ev,
+		rec: &Record{
+			Acquire: make(map[int][]UnitEvent),
+			Release: make(map[int][]UnitEvent),
+		},
+		fields: fields,
+	}
+	scope := newEnv(ev.global)
+	if _, err := a.eval(body, scope); err != nil {
+		return nil, fmt.Errorf("sadl: instruction %q: %w", name, err)
+	}
+	a.rec.Cycles = a.clock
+	if last := a.lastEventCycle(); last >= a.rec.Cycles {
+		a.rec.Cycles = last + 1
+	}
+	if err := a.checkBalance(); err != nil {
+		return nil, fmt.Errorf("sadl: instruction %q: %w", name, err)
+	}
+	return a.rec, nil
+}
+
+// ---------------------------------------------------------------------------
+// Analysis: symbolic execution of one instruction variant.
+
+type analysis struct {
+	ev     *Evaluator
+	clock  int
+	rec    *Record
+	fields map[string]int
+}
+
+// lastEventCycle returns the last cycle with an acquire event. Releases may
+// trail the instruction's completion (a port released at the start of cycle
+// k was busy only through k-1), so they do not extend the cycle count.
+func (a *analysis) lastEventCycle() int {
+	last := -1
+	for c := range a.rec.Acquire {
+		if c > last {
+			last = c
+		}
+	}
+	return last
+}
+
+// checkBalance verifies every acquired unit copy is released — the error
+// detection the paper attributes to Spawn's description analysis.
+func (a *analysis) checkBalance() error {
+	net := map[string]int{}
+	for _, evs := range a.rec.Acquire {
+		for _, e := range evs {
+			net[e.Unit] += e.Num
+		}
+	}
+	for _, evs := range a.rec.Release {
+		for _, e := range evs {
+			net[e.Unit] -= e.Num
+		}
+	}
+	for unit, n := range net {
+		if n != 0 {
+			return fmt.Errorf("unit %q acquire/release unbalanced by %d copies", unit, n)
+		}
+	}
+	return nil
+}
+
+func (a *analysis) eval(e Expr, scope *env) (value, error) {
+	switch n := e.(type) {
+	case Num:
+		return vNum(n.Value), nil
+	case UnitVal:
+		return vUnit{}, nil
+	case FieldRef:
+		if !immFields[n.Name] {
+			return nil, fmt.Errorf("line %d: unknown immediate field #%s", n.Line, n.Name)
+		}
+		return vOperand{definedAt: -1}, nil
+	case Ident:
+		return a.evalIdent(n, scope)
+	case Lambda:
+		return vClosure{param: n.Param, body: n.Body, env: scope}, nil
+	case Seq:
+		var last value = vUnit{}
+		inner := newEnv(scope)
+		for _, el := range n.Elems {
+			v, err := a.eval(el, inner)
+			if err != nil {
+				return nil, err
+			}
+			last = v
+		}
+		return last, nil
+	case Apply:
+		fn, err := a.eval(n.Fn, scope)
+		if err != nil {
+			return nil, err
+		}
+		return a.apply(fn, vThunk{expr: n.Arg, env: scope}, n.Line)
+	case VectorApply:
+		fn, err := a.eval(n.Fn, scope)
+		if err != nil {
+			return nil, err
+		}
+		out := make(vVector, len(n.Args))
+		for i, arg := range n.Args {
+			v, err := a.apply(fn, vThunk{expr: arg, env: scope}, n.Line)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	case Cond:
+		t, err := a.eval(n.Test, scope)
+		if err != nil {
+			return nil, err
+		}
+		tv, err := a.force(t, n.Line)
+		if err != nil {
+			return nil, err
+		}
+		num, ok := tv.(vNum)
+		if !ok {
+			return nil, fmt.Errorf("line %d: condition is not a number", n.Line)
+		}
+		if num != 0 {
+			return a.eval(n.Then, scope)
+		}
+		return a.eval(n.Else, scope)
+	case Eq:
+		av, err := a.evalNum(n.A, scope, n.Line)
+		if err != nil {
+			return nil, err
+		}
+		bv, err := a.evalNum(n.B, scope, n.Line)
+		if err != nil {
+			return nil, err
+		}
+		if av == bv {
+			return vNum(1), nil
+		}
+		return vNum(0), nil
+	case Assign:
+		return a.evalAssign(n, scope)
+	case Index:
+		return a.evalIndex(n, scope, false, vOperand{})
+	case Acquire:
+		num, err := a.optNum(n.Num, scope, 1, n.Line)
+		if err != nil {
+			return nil, err
+		}
+		if err := a.addEvent(a.rec.Acquire, n.Unit, num, a.clock, n.Line); err != nil {
+			return nil, err
+		}
+		return vUnit{}, nil
+	case Release:
+		num, err := a.optNum(n.Num, scope, 1, n.Line)
+		if err != nil {
+			return nil, err
+		}
+		if err := a.addEvent(a.rec.Release, n.Unit, num, a.clock, n.Line); err != nil {
+			return nil, err
+		}
+		return vUnit{}, nil
+	case AcqRel:
+		num, err := a.optNum(n.Num, scope, 1, n.Line)
+		if err != nil {
+			return nil, err
+		}
+		delay, err := a.optNum(n.Delay, scope, 1, n.Line)
+		if err != nil {
+			return nil, err
+		}
+		if delay < 1 {
+			return nil, fmt.Errorf("line %d: AR delay must be at least 1", n.Line)
+		}
+		if err := a.addEvent(a.rec.Acquire, n.Unit, num, a.clock, n.Line); err != nil {
+			return nil, err
+		}
+		if err := a.addEvent(a.rec.Release, n.Unit, num, a.clock+delay, n.Line); err != nil {
+			return nil, err
+		}
+		return vUnit{}, nil
+	case Advance:
+		delay, err := a.optNum(n.Delay, scope, 1, n.Line)
+		if err != nil {
+			return nil, err
+		}
+		if delay < 0 {
+			return nil, fmt.Errorf("line %d: D delay must be non-negative", n.Line)
+		}
+		a.clock += delay
+		return vUnit{}, nil
+	case Vector:
+		out := make(vVector, len(n.Elems))
+		for i, el := range n.Elems {
+			v, err := a.eval(el, scope)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("sadl: cannot evaluate %T", e)
+}
+
+func (a *analysis) evalIdent(n Ident, scope *env) (value, error) {
+	if v, ok := scope.lookup(n.Name); ok {
+		return a.force(v, n.Line)
+	}
+	if regFields[n.Name] {
+		return vFieldName(n.Name), nil
+	}
+	if f, ok := a.fields[n.Name]; ok {
+		return vNum(f), nil
+	}
+	if arity, ok := builtinOps[n.Name]; ok {
+		return vBuiltin{name: n.Name, arity: arity}, nil
+	}
+	if builtinMarkers[n.Name] {
+		a.rec.Markers = append(a.rec.Markers, n.Name)
+		return vMarker(n.Name), nil
+	}
+	return nil, fmt.Errorf("line %d: undefined name %q", n.Line, n.Name)
+}
+
+// force evaluates thunks to weak-head values.
+func (a *analysis) force(v value, line int) (value, error) {
+	for {
+		t, ok := v.(vThunk)
+		if !ok {
+			return v, nil
+		}
+		fv, err := a.eval(t.expr, t.env)
+		if err != nil {
+			return nil, err
+		}
+		v = fv
+	}
+}
+
+func (a *analysis) apply(fn value, arg value, line int) (value, error) {
+	fnv, err := a.force(fn, line)
+	if err != nil {
+		return nil, err
+	}
+	switch f := fnv.(type) {
+	case vClosure:
+		inner := newEnv(f.env)
+		inner.define(f.param, arg)
+		return a.eval(f.body, inner)
+	case vBuiltin:
+		forced, err := a.force(arg, line)
+		if err != nil {
+			return nil, err
+		}
+		args := append(append([]value(nil), f.args...), forced)
+		if len(args) < f.arity {
+			return vBuiltin{name: f.name, arity: f.arity, args: args}, nil
+		}
+		// Fully applied semantic operator: the computation finishes in
+		// the current cycle.
+		return vOperand{definedAt: a.clock}, nil
+	case vAlias:
+		// Alias applied like a function (rare; normally indexed).
+		return nil, fmt.Errorf("line %d: alias %q must be indexed, not applied", line, f.decl.Name)
+	}
+	return nil, fmt.Errorf("line %d: value %T is not applicable", line, fnv)
+}
+
+func (a *analysis) evalAssign(n Assign, scope *env) (value, error) {
+	switch target := n.Target.(type) {
+	case Ident:
+		v, err := a.eval(n.Value, scope)
+		if err != nil {
+			return nil, err
+		}
+		fv, err := a.force(v, n.Line)
+		if err != nil {
+			return nil, err
+		}
+		scope.define(target.Name, fv)
+		return fv, nil
+	case Index:
+		// Register write: evaluate the value first (the computation),
+		// then perform the access in write mode.
+		v, err := a.eval(n.Value, scope)
+		if err != nil {
+			return nil, err
+		}
+		fv, err := a.force(v, n.Line)
+		if err != nil {
+			return nil, err
+		}
+		op, ok := fv.(vOperand)
+		if !ok {
+			op = vOperand{definedAt: a.clock}
+		}
+		return a.evalIndex(target, scope, true, op)
+	}
+	return nil, fmt.Errorf("line %d: bad assignment target %T", n.Line, n.Target)
+}
+
+// evalIndex performs a register or memory access: base[idx]. In write mode
+// the written operand's definedAt determines the recorded availability.
+func (a *analysis) evalIndex(n Index, scope *env, write bool, wv vOperand) (value, error) {
+	base, err := a.eval(n.Base, scope)
+	if err != nil {
+		return nil, err
+	}
+	basev, err := a.force(base, n.Line)
+	if err != nil {
+		return nil, err
+	}
+	switch b := basev.(type) {
+	case vRegFile:
+		return a.regAccess(b.decl.Name, b.decl.Count, n, scope, write, wv)
+	case vAlias:
+		// Alias access: bind the alias parameter to the index expression
+		// (unevaluated) and run the alias body. The body's final value is
+		// the underlying register access, which inherits the access mode.
+		inner := newEnv(a.ev.global)
+		inner.define(b.decl.Param, vThunk{expr: n.Idx, env: scope})
+		return a.aliasBody(b.decl.Body, inner, write, wv)
+	}
+	return nil, fmt.Errorf("line %d: %T cannot be indexed", n.Line, basev)
+}
+
+// aliasBody evaluates an alias body. Every expression except the final
+// register access evaluates normally; the final Index (or a Seq ending in
+// one) performs the access in the caller's mode.
+func (a *analysis) aliasBody(body Expr, scope *env, write bool, wv vOperand) (value, error) {
+	switch n := body.(type) {
+	case Seq:
+		inner := newEnv(scope)
+		for i, el := range n.Elems {
+			if i == len(n.Elems)-1 {
+				return a.aliasBody(el, inner, write, wv)
+			}
+			if _, err := a.eval(el, inner); err != nil {
+				return nil, err
+			}
+		}
+		return vUnit{}, nil
+	case Index:
+		return a.evalIndex(n, scope, write, wv)
+	default:
+		return a.eval(body, scope)
+	}
+}
+
+// regAccess records the read or write of a register-file element.
+func (a *analysis) regAccess(file string, count int, n Index, scope *env, write bool, wv vOperand) (value, error) {
+	idx, err := a.eval(n.Idx, scope)
+	if err != nil {
+		return nil, err
+	}
+	idxv, err := a.force(idx, n.Line)
+	if err != nil {
+		return nil, err
+	}
+	// Count == 0 declares a memory-like unbounded file.
+	if count == 0 {
+		if write {
+			a.rec.MemWrites = append(a.rec.MemWrites, a.clock)
+			return wv, nil
+		}
+		a.rec.MemReads = append(a.rec.MemReads, a.clock)
+		return vOperand{definedAt: a.clock}, nil
+	}
+	var field string
+	var index int
+	switch iv := idxv.(type) {
+	case vFieldName:
+		field = string(iv)
+	case vNum:
+		index = int(iv)
+		if index < 0 || index >= count {
+			return nil, fmt.Errorf("line %d: index %d out of range for %s[%d]", n.Line, index, file, count)
+		}
+	case vOperand:
+		return nil, fmt.Errorf("line %d: register file %s indexed by a runtime value; use a memory file (count 0)", n.Line, file)
+	default:
+		return nil, fmt.Errorf("line %d: bad register index %T", n.Line, idxv)
+	}
+	if write {
+		a.rec.Writes = append(a.rec.Writes, RegWrite{
+			File: file, Field: field, Index: index, Avail: wv.definedAt + 1,
+		})
+		return wv, nil
+	}
+	a.rec.Reads = append(a.rec.Reads, RegRead{
+		File: file, Field: field, Index: index, Cycle: a.clock,
+	})
+	return vOperand{definedAt: a.clock}, nil
+}
+
+func (a *analysis) addEvent(m map[int][]UnitEvent, unit string, num, cycle, line int) error {
+	if _, ok := a.ev.units[unit]; !ok {
+		return fmt.Errorf("line %d: undeclared unit %q", line, unit)
+	}
+	if num <= 0 {
+		return fmt.Errorf("line %d: unit count must be positive", line)
+	}
+	if num > a.ev.units[unit] {
+		return fmt.Errorf("line %d: acquiring %d copies of %q but only %d exist",
+			line, num, unit, a.ev.units[unit])
+	}
+	m[cycle] = append(m[cycle], UnitEvent{Unit: unit, Num: num})
+	return nil
+}
+
+func (a *analysis) evalNum(e Expr, scope *env, line int) (int, error) {
+	v, err := a.eval(e, scope)
+	if err != nil {
+		return 0, err
+	}
+	fv, err := a.force(v, line)
+	if err != nil {
+		return 0, err
+	}
+	n, ok := fv.(vNum)
+	if !ok {
+		return 0, fmt.Errorf("line %d: expected a number, found %T", line, fv)
+	}
+	return int(n), nil
+}
+
+func (a *analysis) optNum(e Expr, scope *env, def, line int) (int, error) {
+	if e == nil {
+		return def, nil
+	}
+	return a.evalNum(e, scope, line)
+}

@@ -1,0 +1,169 @@
+package sadl
+
+import (
+	"strings"
+	"testing"
+)
+
+// Additional evaluator coverage: lambda semantics, command validation and
+// vector machinery beyond the Figure 2 path.
+
+func TestCurriedLambdaApplication(t *testing.T) {
+	ev := mustEval(t, `
+register untyped{32} R[32]
+val mk is (\a.\b. add32 a b)
+sem x is (D 1, s1:=R[rs1], s2:=R[rs2], R[rd]:=mk s1 s2, D 1)
+`)
+	rec, err := ev.Timing("x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Reads) != 2 || len(rec.Writes) != 1 {
+		t.Errorf("reads/writes = %d/%d", len(rec.Reads), len(rec.Writes))
+	}
+	if rec.Writes[0].Avail != 2 {
+		t.Errorf("avail = %d, want 2 (compute at cycle 1)", rec.Writes[0].Avail)
+	}
+}
+
+func TestCallByNameSideEffectsAtUseSite(t *testing.T) {
+	// A val passed through a lambda must fire its resource event at the
+	// point of use inside the body, not at binding time.
+	ev := mustEval(t, `
+unit ALU 1
+register untyped{32} R[32]
+val grab is (AR ALU, R[rs1])
+val use is (\v. D 2, x:=v, D 1)
+sem late is (use grab)
+`)
+	rec, err := ev.Timing("late", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// grab is forced after D 2, so the acquisition lands in cycle 2.
+	if !hasEvent(rec.Acquire[2], "ALU", 1) {
+		t.Errorf("ALU acquired at %v, want cycle 2", rec.Acquire)
+	}
+	if rec.Reads[0].Cycle != 2 {
+		t.Errorf("read at %d, want 2", rec.Reads[0].Cycle)
+	}
+}
+
+func TestARDelayValidation(t *testing.T) {
+	ev := mustEval(t, "unit A 1\nsem x is (AR A 1 0, D 1)")
+	if _, err := ev.Timing("x", nil); err == nil {
+		t.Error("AR with zero delay accepted")
+	}
+}
+
+func TestReleaseMoreThanExists(t *testing.T) {
+	ev := mustEval(t, "unit A 1\nsem x is (A A, D 1, R A 2)")
+	if _, err := ev.Timing("x", nil); err == nil {
+		t.Error("releasing more copies than exist accepted")
+	}
+}
+
+func TestVectorValElementsIndependent(t *testing.T) {
+	// Each name bound by a vector val gets its own applied expression.
+	ev := mustEval(t, `
+unit FAST 1, SLOW 1
+val [ quick slow ] is (\u. D 1) @ [ 1 2 ]
+register untyped{32} R[32]
+sem a is (quick, D 1)
+sem b is (slow, D 1)
+`)
+	ra, err := ev.Timing("a", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := ev.Timing("b", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Cycles != rb.Cycles {
+		t.Errorf("identical bodies should time identically: %d vs %d", ra.Cycles, rb.Cycles)
+	}
+}
+
+func TestSemVectorDistinctLatencies(t *testing.T) {
+	ev := mustEval(t, `
+unit U 1
+register untyped{32} F[32]
+sem [ short long ] is (\lat. A U, D lat, x:=fadd F[rs1] F[rs2], D 1, R U, F[rd]:=x, D 1) @ [ 2 9 ]
+`)
+	s, err := ev.Timing("short", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := ev.Timing("long", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Cycles-s.Cycles != 7 {
+		t.Errorf("latency difference = %d, want 7", l.Cycles-s.Cycles)
+	}
+	if s.Key() == l.Key() {
+		t.Error("distinct latencies share a timing key")
+	}
+}
+
+func TestMarkersAccumulate(t *testing.T) {
+	ev := mustEval(t, "sem x is (isLoad, isStore, D 1)")
+	rec, err := ev.Timing("x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.HasMarker("isLoad") || !rec.HasMarker("isStore") {
+		t.Errorf("markers = %v", rec.Markers)
+	}
+	if rec.HasMarker("isShift") {
+		t.Error("phantom marker")
+	}
+}
+
+func TestParseErrorsMentionLine(t *testing.T) {
+	_, err := Parse("unit A 1\nunit B\n")
+	if err == nil || !strings.Contains(err.Error(), "line ") {
+		t.Errorf("error lacks line number: %v", err)
+	}
+}
+
+func TestConditionNestedInAlias(t *testing.T) {
+	// Conditionals work inside alias bodies, selected per variant.
+	ev := mustEval(t, `
+unit P 2
+register untyped{32} R[32]
+alias signed{32} Rp[i] is (AR P, R[i])
+val pick is iflag=1 ? #simm13 : Rp[rs2]
+sem x is (D 1, v:=pick, R[rd]:=v, D 1)
+`)
+	reg, err := ev.Timing("x", map[string]int{"iflag": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasEvent(reg.Acquire[1], "P", 1) {
+		t.Errorf("port not acquired for register variant: %v", reg.Acquire)
+	}
+	imm, err := ev.Timing("x", map[string]int{"iflag": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imm.Acquire[1]) != 0 {
+		t.Errorf("immediate variant acquired ports: %v", imm.Acquire)
+	}
+}
+
+func TestUnbalancedSequencesInBranches(t *testing.T) {
+	// A conditional that acquires in one arm only is unbalanced for that
+	// variant and must be caught.
+	ev := mustEval(t, `
+unit U 1
+sem x is (iflag=1 ? (A U, D 1) : D 1, D 1)
+`)
+	if _, err := ev.Timing("x", map[string]int{"iflag": 1}); err == nil {
+		t.Error("unbalanced arm accepted")
+	}
+	if _, err := ev.Timing("x", map[string]int{"iflag": 0}); err != nil {
+		t.Errorf("balanced arm rejected: %v", err)
+	}
+}

@@ -1,0 +1,511 @@
+package sadl
+
+import "fmt"
+
+// Parse parses a SADL description.
+func Parse(src string) (*File, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f := &File{}
+	for p.peek().kind != tokEOF {
+		if err := p.decl(f); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// keywords are reserved: they terminate expressions and cannot be used as
+// names inside semantic expressions.
+var keywords = map[string]bool{
+	"unit": true, "register": true, "alias": true, "val": true,
+	"sem": true, "is": true,
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(t token, format string, args ...any) error {
+	return fmt.Errorf("sadl: line %d: %s", t.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(k tokKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, p.errf(t, "expected %s, found %q", what, t.String())
+	}
+	return t, nil
+}
+
+func (p *parser) expectName(want string) error {
+	t := p.next()
+	if t.kind != tokName || t.text != want {
+		return p.errf(t, "expected %q, found %q", want, t.String())
+	}
+	return nil
+}
+
+func (p *parser) decl(f *File) error {
+	t := p.peek()
+	if t.kind != tokName {
+		return p.errf(t, "expected declaration, found %q", t.String())
+	}
+	switch t.text {
+	case "unit":
+		return p.unitDecl(f)
+	case "register":
+		return p.registerDecl(f)
+	case "alias":
+		return p.aliasDecl(f)
+	case "val":
+		return p.valDecl(f)
+	case "sem":
+		return p.semDecl(f)
+	}
+	return p.errf(t, "unknown declaration %q", t.text)
+}
+
+// unit NAME NUM ("," NAME NUM)*
+func (p *parser) unitDecl(f *File) error {
+	p.next() // unit
+	for {
+		name, err := p.expect(tokName, "unit name")
+		if err != nil {
+			return err
+		}
+		num, err := p.expect(tokNumber, "unit count")
+		if err != nil {
+			return err
+		}
+		f.Units = append(f.Units, UnitDecl{Name: name.text, Count: num.num, Line: name.line})
+		if p.peek().kind != tokComma {
+			return nil
+		}
+		p.next()
+	}
+}
+
+// register TYPE NAME "[" NUM "]"
+func (p *parser) registerDecl(f *File) error {
+	p.next() // register
+	ts, err := p.typeSpec()
+	if err != nil {
+		return err
+	}
+	name, err := p.expect(tokName, "register file name")
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokLBrack, "'['"); err != nil {
+		return err
+	}
+	num, err := p.expect(tokNumber, "register count")
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokRBrack, "']'"); err != nil {
+		return err
+	}
+	f.Registers = append(f.Registers, RegisterDecl{
+		Type: ts, Name: name.text, Count: num.num, Line: name.line,
+	})
+	return nil
+}
+
+// alias TYPE NAME "[" PARAM "]" is EXPR
+func (p *parser) aliasDecl(f *File) error {
+	p.next() // alias
+	ts, err := p.typeSpec()
+	if err != nil {
+		return err
+	}
+	name, err := p.expect(tokName, "alias name")
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokLBrack, "'['"); err != nil {
+		return err
+	}
+	param, err := p.expect(tokName, "alias parameter")
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokRBrack, "']'"); err != nil {
+		return err
+	}
+	if err := p.expectName("is"); err != nil {
+		return err
+	}
+	body, err := p.expr()
+	if err != nil {
+		return err
+	}
+	f.Aliases = append(f.Aliases, AliasDecl{
+		Type: ts, Name: name.text, Param: param.text, Body: body, Line: name.line,
+	})
+	return nil
+}
+
+func (p *parser) valDecl(f *File) error {
+	p.next() // val
+	names, line, err := p.nameList()
+	if err != nil {
+		return err
+	}
+	if err := p.expectName("is"); err != nil {
+		return err
+	}
+	body, err := p.expr()
+	if err != nil {
+		return err
+	}
+	f.Vals = append(f.Vals, ValDecl{Names: names, Body: body, Line: line})
+	return nil
+}
+
+func (p *parser) semDecl(f *File) error {
+	p.next() // sem
+	names, line, err := p.nameList()
+	if err != nil {
+		return err
+	}
+	if err := p.expectName("is"); err != nil {
+		return err
+	}
+	body, err := p.expr()
+	if err != nil {
+		return err
+	}
+	f.Sems = append(f.Sems, SemDecl{Names: names, Body: body, Line: line})
+	return nil
+}
+
+// nameList parses a single name or "[" name+ "]".
+func (p *parser) nameList() ([]string, int, error) {
+	t := p.peek()
+	if t.kind == tokName {
+		p.next()
+		return []string{t.text}, t.line, nil
+	}
+	if t.kind != tokLBrack {
+		return nil, 0, p.errf(t, "expected name or '[', found %q", t.String())
+	}
+	p.next()
+	var names []string
+	for p.peek().kind == tokName {
+		names = append(names, p.next().text)
+	}
+	if _, err := p.expect(tokRBrack, "']'"); err != nil {
+		return nil, 0, err
+	}
+	if len(names) == 0 {
+		return nil, 0, p.errf(t, "empty name vector")
+	}
+	return names, t.line, nil
+}
+
+// typeSpec parses "untyped{32}" etc.
+func (p *parser) typeSpec() (TypeSpec, error) {
+	kind, err := p.expect(tokName, "type name")
+	if err != nil {
+		return TypeSpec{}, err
+	}
+	switch kind.text {
+	case "untyped", "signed", "unsigned":
+	default:
+		return TypeSpec{}, p.errf(kind, "unknown type %q", kind.text)
+	}
+	if _, err := p.expect(tokLBrace, "'{'"); err != nil {
+		return TypeSpec{}, err
+	}
+	width, err := p.expect(tokNumber, "type width")
+	if err != nil {
+		return TypeSpec{}, err
+	}
+	if _, err := p.expect(tokRBrace, "'}'"); err != nil {
+		return TypeSpec{}, err
+	}
+	return TypeSpec{Kind: kind.text, Width: width.num}, nil
+}
+
+// expr := item ("," item)*
+func (p *parser) expr() (Expr, error) {
+	first, err := p.item()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokComma {
+		return first, nil
+	}
+	seq := Seq{Elems: []Expr{first}, Line: p.peek().line}
+	for p.peek().kind == tokComma {
+		p.next()
+		e, err := p.item()
+		if err != nil {
+			return nil, err
+		}
+		seq.Elems = append(seq.Elems, e)
+	}
+	return seq, nil
+}
+
+// item := cond (":=" item)?   — assignment is right-associative.
+func (p *parser) item() (Expr, error) {
+	lhs, err := p.cond()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokAssign {
+		return lhs, nil
+	}
+	at := p.next()
+	switch lhs.(type) {
+	case Ident, Index:
+	default:
+		return nil, p.errf(at, "assignment target must be a name or register element")
+	}
+	rhs, err := p.item()
+	if err != nil {
+		return nil, err
+	}
+	return Assign{Target: lhs, Value: rhs, Line: at.line}, nil
+}
+
+// cond := eq ("?" cond ":" cond)?
+func (p *parser) cond() (Expr, error) {
+	test, err := p.eqExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokQuest {
+		return test, nil
+	}
+	q := p.next()
+	then, err := p.cond()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokColon, "':'"); err != nil {
+		return nil, err
+	}
+	els, err := p.cond()
+	if err != nil {
+		return nil, err
+	}
+	return Cond{Test: test, Then: then, Else: els, Line: q.line}, nil
+}
+
+// eq := vecapp ("=" vecapp)?
+func (p *parser) eqExpr() (Expr, error) {
+	a, err := p.vecApp()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEq {
+		return a, nil
+	}
+	e := p.next()
+	b, err := p.vecApp()
+	if err != nil {
+		return nil, err
+	}
+	return Eq{A: a, B: b, Line: e.line}, nil
+}
+
+// vecapp := app ("@" vector)?
+func (p *parser) vecApp() (Expr, error) {
+	fn, err := p.app()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokAt {
+		return fn, nil
+	}
+	at := p.next()
+	vec, err := p.vector()
+	if err != nil {
+		return nil, err
+	}
+	return VectorApply{Fn: fn, Args: vec.Elems, Line: at.line}, nil
+}
+
+// app := command | postfix postfix*
+func (p *parser) app() (Expr, error) {
+	if t := p.peek(); t.kind == tokName {
+		switch t.text {
+		case "A", "R", "AR":
+			// A/R/AR are commands only when followed by a unit name;
+			// this lets a register file share the name R, as the paper's
+			// Figure 2 does ("R ALU" is a release, "R[i]" an access).
+			if nt := p.toks[p.pos+1]; nt.kind == tokName && !keywords[nt.text] {
+				return p.command()
+			}
+		case "D":
+			// D is always the pipeline-advance command.
+			return p.command()
+		}
+	}
+	fn, err := p.postfix()
+	if err != nil {
+		return nil, err
+	}
+	for p.atomStart() {
+		arg, err := p.postfix()
+		if err != nil {
+			return nil, err
+		}
+		fn = Apply{Fn: fn, Arg: arg, Line: p.peek().line}
+	}
+	return fn, nil
+}
+
+// atomStart reports whether the next token can begin an application
+// argument. '[' is excluded: following a complete term it would be an
+// index, and index postfixes are consumed by postfix itself. Declaration
+// keywords terminate expressions.
+func (p *parser) atomStart() bool { return p.startsArg(p.peek()) }
+
+func (p *parser) startsArg(t token) bool {
+	switch t.kind {
+	case tokName:
+		return !keywords[t.text]
+	case tokNumber, tokField, tokLParen, tokUnit, tokLambda:
+		return true
+	}
+	return false
+}
+
+// command parses the pipeline-timing commands A, R, AR, D.
+func (p *parser) command() (Expr, error) {
+	cmd := p.next()
+	if cmd.text == "D" {
+		var delay Expr
+		switch t := p.peek(); {
+		case t.kind == tokNumber:
+			p.next()
+			delay = Num{Value: t.num, Line: t.line}
+		case t.kind == tokName && !keywords[t.text]:
+			// A delay bound by an enclosing lambda, e.g. "\lat. ... D lat".
+			p.next()
+			delay = Ident{Name: t.text, Line: t.line}
+		}
+		return Advance{Delay: delay, Line: cmd.line}, nil
+	}
+	unit, err := p.expect(tokName, "unit name")
+	if err != nil {
+		return nil, err
+	}
+	var num, delay Expr
+	if p.peek().kind == tokNumber {
+		n := p.next()
+		num = Num{Value: n.num, Line: n.line}
+		if cmd.text == "AR" && p.peek().kind == tokNumber {
+			d := p.next()
+			delay = Num{Value: d.num, Line: d.line}
+		}
+	}
+	switch cmd.text {
+	case "A":
+		return Acquire{Unit: unit.text, Num: num, Line: cmd.line}, nil
+	case "R":
+		return Release{Unit: unit.text, Num: num, Line: cmd.line}, nil
+	case "AR":
+		return AcqRel{Unit: unit.text, Num: num, Delay: delay, Line: cmd.line}, nil
+	}
+	panic("unreachable")
+}
+
+// postfix := atom ("[" expr "]")*
+func (p *parser) postfix() (Expr, error) {
+	e, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokLBrack {
+		lb := p.next()
+		idx, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRBrack, "']'"); err != nil {
+			return nil, err
+		}
+		e = Index{Base: e, Idx: idx, Line: lb.line}
+	}
+	return e, nil
+}
+
+func (p *parser) atom() (Expr, error) {
+	t := p.next()
+	switch t.kind {
+	case tokName:
+		if keywords[t.text] {
+			return nil, p.errf(t, "keyword %q cannot appear in an expression", t.text)
+		}
+		return Ident{Name: t.text, Line: t.line}, nil
+	case tokNumber:
+		return Num{Value: t.num, Line: t.line}, nil
+	case tokField:
+		return FieldRef{Name: t.text, Line: t.line}, nil
+	case tokUnit:
+		return UnitVal{Line: t.line}, nil
+	case tokLParen:
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokLambda:
+		param, err := p.expect(tokName, "lambda parameter")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokDot, "'.'"); err != nil {
+			return nil, err
+		}
+		body, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return Lambda{Param: param.text, Body: body, Line: t.line}, nil
+	}
+	return nil, p.errf(t, "unexpected %q in expression", t.String())
+}
+
+// vector parses "[" postfix* "]".
+func (p *parser) vector() (Vector, error) {
+	lb, err := p.expect(tokLBrack, "'['")
+	if err != nil {
+		return Vector{}, err
+	}
+	v := Vector{Line: lb.line}
+	for p.peek().kind != tokRBrack && p.peek().kind != tokEOF {
+		e, err := p.postfix()
+		if err != nil {
+			return Vector{}, err
+		}
+		v.Elems = append(v.Elems, e)
+	}
+	if _, err := p.expect(tokRBrack, "']'"); err != nil {
+		return Vector{}, err
+	}
+	return v, nil
+}

@@ -1,0 +1,489 @@
+package sadl
+
+import (
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *File {
+	t.Helper()
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func mustEval(t *testing.T, src string) *Evaluator {
+	t.Helper()
+	ev, err := NewEvaluator(mustParse(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lex(`unit ALU 1 // comment
+val [ + >>u ] is (\a. a), #simm13 x:=y iflag=1 ? 2 : 3 () f @ [ g ]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokKind
+	var texts []string
+	for _, tk := range toks {
+		kinds = append(kinds, tk.kind)
+		texts = append(texts, tk.String())
+	}
+	want := []string{
+		"unit", "ALU", "1",
+		"val", "[", "+", ">>u", "]", "is", "(", "\\", "a", ".", "a", ")",
+		",", "#simm13", "x", ":=", "y", "iflag", "=", "1", "?", "2", ":", "3",
+		"()", "f", "@", "[", "g", "]", "end of file",
+	}
+	if !reflect.DeepEqual(texts, want) {
+		t.Errorf("lex = %q\nwant  %q", texts, want)
+	}
+	_ = kinds
+}
+
+func TestLexOperatorNames(t *testing.T) {
+	toks, err := lex(`+ - & | ^ << >> <<>>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"+", "-", "&", "|", "^", "<<", ">>", "<<>>"}
+	for i, w := range want {
+		if toks[i].kind != tokName || toks[i].text != w {
+			t.Errorf("token %d = %q, want name %q", i, toks[i].String(), w)
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"\"string\"", "# 1", "$x"} {
+		if _, err := lex(src); err == nil {
+			t.Errorf("lex(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestLexCommentBeforeOperator(t *testing.T) {
+	toks, err := lex("+ // trailing\n-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].text != "+" || toks[1].text != "-" {
+		t.Errorf("comment interfered with operators: %v %v", toks[0], toks[1])
+	}
+}
+
+func TestParseDeclarations(t *testing.T) {
+	f := mustParse(t, `
+unit Group 2
+unit ALU 1, ALUr 2
+register untyped{32} R[32]
+register untyped{32} M[0]
+alias signed{32} R4r[i] is AR ALUr, R[i]
+val multi is AR Group, ()
+val [ + - ] is (\op.\a.\b. A ALU, x:=op a b, D 1, R ALU, x) @ [ add32 sub32 ]
+sem add is (multi, D 1, s1:=R4r[rs1], R4r[rd], D 1)
+`)
+	if len(f.Units) != 3 || f.Units[0].Name != "Group" || f.Units[0].Count != 2 {
+		t.Errorf("units = %+v", f.Units)
+	}
+	if len(f.Registers) != 2 || f.Registers[1].Count != 0 {
+		t.Errorf("registers = %+v", f.Registers)
+	}
+	if len(f.Aliases) != 1 || f.Aliases[0].Param != "i" {
+		t.Errorf("aliases = %+v", f.Aliases)
+	}
+	if len(f.Vals) != 2 || len(f.Vals[1].Names) != 2 {
+		t.Errorf("vals = %+v", f.Vals)
+	}
+	if len(f.Sems) != 1 {
+		t.Errorf("sems = %+v", f.Sems)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"frobnicate x 1",
+		"unit",
+		"unit ALU",
+		"register foo{32} R[32]",
+		"register untyped{32} R",
+		"alias signed{32} A[i] R[i]", // missing is
+		"val x",
+		"val [ ] is 1",
+		"sem add is (x :=)",
+		"sem add is (1 ? 2)", // missing colon
+		"val x is (\\a b)",   // missing dot
+		"sem add is ((1)",    // unbalanced
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestEvaluatorValidation(t *testing.T) {
+	bad := map[string]string{
+		"dup unit":     "unit A 1, A 2\nsem x is D 1",
+		"zero unit":    "unit A 0\nsem x is D 1",
+		"dup register": "register untyped{32} R[32]\nregister untyped{32} R[32]\nsem x is D 1",
+		"dup val":      "val v is 1\nval v is 2\nsem x is D 1",
+		"dup sem":      "sem x is D 1\nsem x is D 2",
+		"vector arity": "val [ a b ] is (\\x. x) @ [ 1 ]\nsem x is D 1",
+		"vector novec": "val [ a b ] is 1\nsem x is D 1",
+	}
+	for name, src := range bad {
+		f, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: parse error: %v", name, err)
+		}
+		if _, err := NewEvaluator(f); err == nil {
+			t.Errorf("%s: NewEvaluator succeeded, want error", name)
+		}
+	}
+}
+
+func TestTimingErrors(t *testing.T) {
+	cases := map[string]string{
+		"undeclared unit": "sem x is (A ALU, D 1, R ALU)",
+		"unbalanced":      "unit ALU 1\nsem x is (A ALU, D 1)",
+		"too many copies": "unit ALU 1\nsem x is (A ALU 2, D 1, R ALU 2)",
+		"undefined name":  "sem x is (bogus_zork)",
+		"bad field":       "sem x is (#zork)",
+		"index range":     "register untyped{32} R[2]\nsem x is (y:=R[5], D 1)",
+		"runtime index":   "register untyped{32} R[2]\nsem x is (y:=R[#simm13], D 1)",
+	}
+	for name, src := range cases {
+		ev, err := NewEvaluator(mustParse(t, src))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := ev.Timing("x", nil); err == nil {
+			t.Errorf("%s: Timing succeeded, want error", name)
+		}
+	}
+}
+
+// TestFigure2 checks the paper's worked example end to end: from the
+// hyperSPARC description, Spawn must infer that add/sub/sra "can be dual
+// issued, execute in 3 cycles, read their operands in cycle 1, produce a
+// value at the end of cycle 1 that subsequent instructions can use, and
+// update the register file in cycle 2".
+func TestFigure2(t *testing.T) {
+	src, err := os.ReadFile("testdata/hypersparc_fig2.sadl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := NewEvaluator(mustParse(t, string(src)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := ev.SemNames()
+	if !reflect.DeepEqual(names, []string{"add", "sub", "sra"}) {
+		t.Fatalf("SemNames = %v", names)
+	}
+
+	for _, name := range names {
+		for _, iflag := range []int{0, 1} {
+			rec, err := ev.Timing(name, map[string]int{"iflag": iflag})
+			if err != nil {
+				t.Fatalf("%s iflag=%d: %v", name, iflag, err)
+			}
+			// Executes in 3 cycles.
+			if rec.Cycles != 3 {
+				t.Errorf("%s iflag=%d: Cycles = %d, want 3", name, iflag, rec.Cycles)
+			}
+			// Dual-issuable: acquires 1 of the 2 Group slots in cycle 0.
+			if !hasEvent(rec.Acquire[0], "Group", 1) {
+				t.Errorf("%s: no Group acquisition in cycle 0: %+v", name, rec.Acquire[0])
+			}
+			if !hasEvent(rec.Release[1], "Group", 1) {
+				t.Errorf("%s: Group not released in cycle 1: %+v", name, rec.Release[1])
+			}
+			// Reads operands in cycle 1.
+			wantReads := 1
+			if iflag == 0 {
+				wantReads = 2
+			}
+			if len(rec.Reads) != wantReads {
+				t.Errorf("%s iflag=%d: %d reads, want %d: %+v",
+					name, iflag, len(rec.Reads), wantReads, rec.Reads)
+			}
+			for _, rd := range rec.Reads {
+				if rd.Cycle != 1 {
+					t.Errorf("%s: read of %s in cycle %d, want 1", name, rd.Field, rd.Cycle)
+				}
+			}
+			// Produces the value at end of cycle 1 => available in cycle 2.
+			if len(rec.Writes) != 1 || rec.Writes[0].Field != "rd" || rec.Writes[0].Avail != 2 {
+				t.Errorf("%s: writes = %+v, want rd available in cycle 2", name, rec.Writes)
+			}
+			// Occupies the ALU in cycle 1 only.
+			if !hasEvent(rec.Acquire[1], "ALU", 1) || !hasEvent(rec.Release[2], "ALU", 1) {
+				t.Errorf("%s: ALU not held exactly in cycle 1 (acq %+v, rel %+v)",
+					name, rec.Acquire[1], rec.Release[2])
+			}
+		}
+	}
+
+	// sra is a shift; add is not.
+	sra, err := ev.Timing("sra", map[string]int{"iflag": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sra.HasMarker("isShift") {
+		t.Error("sra should carry the isShift marker")
+	}
+	add, err := ev.Timing("add", map[string]int{"iflag": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if add.HasMarker("isShift") {
+		t.Error("add should not carry the isShift marker")
+	}
+
+	// The immediate variant reads one fewer port but has the same shape
+	// otherwise, so the two variants form different groups.
+	add0, _ := ev.Timing("add", map[string]int{"iflag": 0})
+	if add.Key() == add0.Key() {
+		t.Error("imm and reg variants should have different timing keys")
+	}
+	// add and sub share a group.
+	sub0, _ := ev.Timing("sub", map[string]int{"iflag": 0})
+	if add0.Key() != sub0.Key() {
+		t.Errorf("add and sub should share a timing group:\n%s\n%s", add0.Key(), sub0.Key())
+	}
+}
+
+func hasEvent(evs []UnitEvent, unit string, num int) bool {
+	for _, e := range evs {
+		if e.Unit == unit && e.Num == num {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSingleIssueVal(t *testing.T) {
+	ev := mustEval(t, `
+unit Group 2
+val single is AR Group 2, ()
+sem blk is (single, D 1)
+`)
+	rec, err := ev.Timing("blk", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasEvent(rec.Acquire[0], "Group", 2) {
+		t.Errorf("single should acquire both Group slots: %+v", rec.Acquire[0])
+	}
+}
+
+func TestMemoryFile(t *testing.T) {
+	ev := mustEval(t, `
+unit LSU 1
+register untyped{32} R[32]
+register untyped{32} M[0]
+val addr is add32 R[rs1] #simm13
+sem ld is (A LSU, a:=addr, D 1, x:=M[a], R LSU, R[rd]:=x, D 1)
+sem st is (A LSU, a:=addr, D 1, M[a]:=R[rd], D 1, R LSU)
+`)
+	ld, err := ev.Timing("ld", map[string]int{"iflag": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ld.MemReads) != 1 || ld.MemReads[0] != 1 {
+		t.Errorf("ld MemReads = %v, want [1]", ld.MemReads)
+	}
+	// Data read from memory in cycle 1 => available to consumers in cycle 2.
+	if len(ld.Writes) != 1 || ld.Writes[0].Avail != 2 {
+		t.Errorf("ld Writes = %+v, want rd available at 2", ld.Writes)
+	}
+	st, err := ev.Timing("st", map[string]int{"iflag": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.MemWrites) != 1 || st.MemWrites[0] != 1 {
+		t.Errorf("st MemWrites = %v, want [1]", st.MemWrites)
+	}
+	if len(st.Writes) != 0 {
+		t.Errorf("st should not write registers: %+v", st.Writes)
+	}
+	// st reads rd (the stored value) and rs1 (address).
+	if len(st.Reads) != 2 {
+		t.Errorf("st Reads = %+v", st.Reads)
+	}
+}
+
+func TestSethiAvailability(t *testing.T) {
+	// sethi computes in cycle 0; its value is available in cycle 1, so an
+	// instruction issued in the same cycle (reading operands in its cycle
+	// 1) does not stall — the paper's sethi note.
+	ev := mustEval(t, `
+unit Group 2
+register untyped{32} R[32]
+sem sethi is (AR Group, x:=hi22 #imm22, R[rd]:=x, D 1)
+`)
+	rec, err := ev.Timing("sethi", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Writes) != 1 || rec.Writes[0].Avail != 1 {
+		t.Errorf("sethi writes = %+v, want avail 1", rec.Writes)
+	}
+	if rec.Cycles != 1 {
+		t.Errorf("sethi cycles = %d, want 1", rec.Cycles)
+	}
+}
+
+func TestFixedIndexRegisterAccess(t *testing.T) {
+	// Condition-code files are accessed at fixed indices.
+	ev := mustEval(t, `
+register untyped{4} CC[2]
+register untyped{32} R[32]
+sem cmp is (D 1, s1:=R[rs1], x:=subcc32 s1 s1, CC[0]:=x, D 1)
+sem br is (D 1, c:=CC[0], D 1)
+`)
+	cmp, err := ev.Timing("cmp", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Writes) != 1 || cmp.Writes[0].File != "CC" || cmp.Writes[0].Index != 0 || cmp.Writes[0].Avail != 2 {
+		t.Errorf("cmp writes = %+v", cmp.Writes)
+	}
+	br, err := ev.Timing("br", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Reads) != 1 || br.Reads[0].File != "CC" || br.Reads[0].Cycle != 1 {
+		t.Errorf("br reads = %+v", br.Reads)
+	}
+}
+
+func TestLongLatencyUnit(t *testing.T) {
+	// An fdiv-style description: the divider is busy for 12 cycles and the
+	// result computed in cycle 12 is available in cycle 13.
+	ev := mustEval(t, `
+unit FDIV 1
+register untyped{32} F[32]
+sem fdivd is (A FDIV, D 12, a:=F[rs1], x:=fdiv a a, R FDIV, F[rd]:=x, D 1)
+`)
+	rec, err := ev.Timing("fdivd", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Cycles != 13 {
+		t.Errorf("Cycles = %d, want 13", rec.Cycles)
+	}
+	if rec.Writes[0].Avail != 13 {
+		t.Errorf("write avail = %d, want 13", rec.Writes[0].Avail)
+	}
+	if !hasEvent(rec.Acquire[0], "FDIV", 1) || !hasEvent(rec.Release[12], "FDIV", 1) {
+		t.Error("FDIV occupancy wrong")
+	}
+}
+
+func TestRecordKeyStability(t *testing.T) {
+	ev := mustEval(t, `
+unit ALU 1
+register untyped{32} R[32]
+sem a is (A ALU, D 1, x:=R[rs1], R ALU, R[rd]:=x, D 1)
+sem b is (A ALU, D 1, x:=R[rs1], R ALU, R[rd]:=x, D 1)
+sem c is (A ALU, D 2, x:=R[rs1], R ALU, R[rd]:=x, D 1)
+`)
+	ra, _ := ev.Timing("a", nil)
+	rb, _ := ev.Timing("b", nil)
+	rc, _ := ev.Timing("c", nil)
+	if ra.Key() != rb.Key() {
+		t.Error("identical semantics should share a key")
+	}
+	if ra.Key() == rc.Key() {
+		t.Error("different timings should have different keys")
+	}
+}
+
+func TestHasSemAndUnits(t *testing.T) {
+	ev := mustEval(t, "unit A 3\nsem x is D 1")
+	if !ev.HasSem("x") || ev.HasSem("y") {
+		t.Error("HasSem wrong")
+	}
+	if u := ev.Units(); u["A"] != 3 {
+		t.Errorf("Units = %v", u)
+	}
+}
+
+func TestValMacroReevaluation(t *testing.T) {
+	// A val used twice must contribute its events twice (macro semantics).
+	ev := mustEval(t, `
+unit ALU 2
+val grab is AR ALU, ()
+sem x is (grab, grab, D 1)
+`)
+	rec, err := ev.Timing("x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range rec.Acquire[0] {
+		if e.Unit == "ALU" {
+			n += e.Num
+		}
+	}
+	if n != 2 {
+		t.Errorf("val used twice acquired %d copies, want 2", n)
+	}
+}
+
+func TestConditionalVariants(t *testing.T) {
+	ev := mustEval(t, `
+register untyped{32} R[32]
+val src2 is iflag=1 ? #simm13 : R[rs2]
+sem x is (D 1, s:=src2, R[rd]:=s, D 1)
+`)
+	imm, err := ev.Timing("x", map[string]int{"iflag": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := ev.Timing("x", map[string]int{"iflag": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imm.Reads) != 0 {
+		t.Errorf("imm variant reads = %+v, want none", imm.Reads)
+	}
+	if len(reg.Reads) != 1 || reg.Reads[0].Field != "rs2" {
+		t.Errorf("reg variant reads = %+v, want rs2", reg.Reads)
+	}
+	// Immediate value available at cycle 0 => write avail 0.
+	if imm.Writes[0].Avail != 0 {
+		t.Errorf("imm write avail = %d, want 0", imm.Writes[0].Avail)
+	}
+}
+
+func TestTimingUnknownInstruction(t *testing.T) {
+	ev := mustEval(t, "sem x is D 1")
+	if _, err := ev.Timing("nope", nil); err == nil {
+		t.Error("Timing(nope) succeeded")
+	}
+}
+
+func TestParseFig2FileIsCleanGo(t *testing.T) {
+	// Guard against regressions in the shipped figure: it must parse and
+	// contain the three declared instructions.
+	src, err := os.ReadFile("testdata/hypersparc_fig2.sadl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := mustParse(t, string(src))
+	if len(f.Sems) != 1 || strings.Join(f.Sems[0].Names, " ") != "add sub sra" {
+		t.Errorf("figure 2 sems = %+v", f.Sems)
+	}
+}

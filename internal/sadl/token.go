@@ -1,0 +1,207 @@
+// Package sadl implements the Spawn Architecture Description Language from
+// "Instruction Scheduling and Executable Editing" (Schnarr & Larus,
+// MICRO-29 1996), section 3.
+//
+// A SADL description declares microarchitectural resources ("unit"),
+// architectural register files ("register"), register-port aliases
+// ("alias"), reusable semantic macros ("val"), and per-instruction semantic
+// expressions ("sem"). Semantic expressions interleave dataflow (lambda
+// application, assignment, conditional on encoding fields) with the four
+// pipeline-timing commands:
+//
+//	A  <unit> [<num>]          acquire copies of a unit (stall if busy)
+//	R  <unit> [<num>]          release copies of a unit
+//	AR <unit> [<num> [<delay>]] acquire now, auto-release after delay cycles
+//	D  [<delay>]               advance the pipeline
+//
+// Evaluating an instruction's expression yields a Record: the per-cycle
+// acquire/release events, the cycle each register field is read, and the
+// cycle each written value becomes available to later instructions — the
+// exact information the paper's pipeline_stalls function consumes.
+package sadl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates lexical token kinds.
+type tokKind uint8
+
+const (
+	tokEOF  tokKind = iota
+	tokName         // identifiers and operator-symbol names (+, -, <<, ...)
+	tokNumber
+	tokField  // #name (instruction encoding field)
+	tokLParen // (
+	tokRParen // )
+	tokLBrack // [
+	tokRBrack // ]
+	tokLBrace // {
+	tokRBrace // }
+	tokComma
+	tokLambda // \
+	tokDot    // .
+	tokAssign // :=
+	tokEq     // =
+	tokQuest  // ?
+	tokColon  // :
+	tokAt     // @
+	tokUnit   // () — the unit value
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  int
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of file"
+	case tokNumber:
+		return fmt.Sprintf("%d", t.num)
+	case tokField:
+		return "#" + t.text
+	case tokUnit:
+		return "()"
+	}
+	if t.text != "" {
+		return t.text
+	}
+	return fmt.Sprintf("token(%d)", t.kind)
+}
+
+// operator-symbol characters that may form names.
+const opChars = "+-&|^<>*/~%"
+
+// lex tokenizes a SADL source string. // comments run to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	n := len(src)
+	emit := func(k tokKind, text string, num int) {
+		toks = append(toks, token{kind: k, text: text, num: num, line: line})
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '(':
+			if i+1 < n && src[i+1] == ')' {
+				emit(tokUnit, "()", 0)
+				i += 2
+			} else {
+				emit(tokLParen, "(", 0)
+				i++
+			}
+		case c == ')':
+			emit(tokRParen, ")", 0)
+			i++
+		case c == '[':
+			emit(tokLBrack, "[", 0)
+			i++
+		case c == ']':
+			emit(tokRBrack, "]", 0)
+			i++
+		case c == '{':
+			emit(tokLBrace, "{", 0)
+			i++
+		case c == '}':
+			emit(tokRBrace, "}", 0)
+			i++
+		case c == ',':
+			emit(tokComma, ",", 0)
+			i++
+		case c == '\\':
+			emit(tokLambda, "\\", 0)
+			i++
+		case c == '.':
+			emit(tokDot, ".", 0)
+			i++
+		case c == ':':
+			if i+1 < n && src[i+1] == '=' {
+				emit(tokAssign, ":=", 0)
+				i += 2
+			} else {
+				emit(tokColon, ":", 0)
+				i++
+			}
+		case c == '=':
+			emit(tokEq, "=", 0)
+			i++
+		case c == '?':
+			emit(tokQuest, "?", 0)
+			i++
+		case c == '@':
+			emit(tokAt, "@", 0)
+			i++
+		case c == '#':
+			j := i + 1
+			for j < n && isIdentChar(rune(src[j])) {
+				j++
+			}
+			if j == i+1 {
+				return nil, fmt.Errorf("sadl: line %d: '#' must be followed by a field name", line)
+			}
+			emit(tokField, src[i+1:j], 0)
+			i = j
+		case c >= '0' && c <= '9':
+			j := i
+			v := 0
+			for j < n && src[j] >= '0' && src[j] <= '9' {
+				v = v*10 + int(src[j]-'0')
+				j++
+			}
+			emit(tokNumber, src[i:j], v)
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < n && isIdentChar(rune(src[j])) {
+				j++
+			}
+			emit(tokName, src[i:j], 0)
+			i = j
+		case strings.IndexByte(opChars, c) >= 0:
+			j := i
+			for j < n && strings.IndexByte(opChars, src[j]) >= 0 {
+				// Don't swallow a comment start.
+				if src[j] == '/' && j+1 < n && src[j+1] == '/' {
+					break
+				}
+				j++
+			}
+			// An operator name may end in letters to distinguish variants
+			// (e.g. >>u for logical vs >>s for arithmetic shift).
+			for j < n && (unicode.IsLetter(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			emit(tokName, src[i:j], 0)
+			i = j
+		default:
+			return nil, fmt.Errorf("sadl: line %d: unexpected character %q", line, c)
+		}
+	}
+	emit(tokEOF, "", 0)
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentChar(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,87 @@
+package sim
+
+// Cache is a set-associative cache with LRU replacement, used to model
+// instruction fetch. Program instrumentation grows the text segment and
+// therefore the miss rate — the Lebeck & Wood effect the paper's §4.1
+// notes scheduling cannot hide.
+type Cache struct {
+	lineShift uint32
+	setMask   uint32
+	ways      int
+	// tags[set*ways+way]; lru[set*ways+way] holds a use stamp.
+	tags  []uint32
+	valid []bool
+	lru   []uint64
+	stamp uint64
+
+	Hits   uint64
+	Misses uint64
+}
+
+// NewCache builds a cache of size bytes with the given line size and
+// associativity. Sizes must be powers of two.
+func NewCache(size, lineSize, ways int) *Cache {
+	sets := size / lineSize / ways
+	c := &Cache{
+		ways:  ways,
+		tags:  make([]uint32, sets*ways),
+		valid: make([]bool, sets*ways),
+		lru:   make([]uint64, sets*ways),
+	}
+	for 1<<c.lineShift < lineSize {
+		c.lineShift++
+	}
+	c.setMask = uint32(sets - 1)
+	return c
+}
+
+// Access looks up addr, updates LRU state and fills on miss. It reports
+// whether the access hit.
+func (c *Cache) Access(addr uint32) bool {
+	line := addr >> c.lineShift
+	set := int(line & c.setMask)
+	base := set * c.ways
+	c.stamp++
+	for w := 0; w < c.ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == line {
+			c.lru[base+w] = c.stamp
+			c.Hits++
+			return true
+		}
+	}
+	c.Misses++
+	victim := base
+	for w := 1; w < c.ways; w++ {
+		if !c.valid[base+w] {
+			victim = base + w
+			break
+		}
+		if c.lru[base+w] < c.lru[victim] {
+			victim = base + w
+		}
+	}
+	c.tags[victim] = line
+	c.valid[victim] = true
+	c.lru[victim] = c.stamp
+	return false
+}
+
+// MissRate returns misses / accesses.
+func (c *Cache) MissRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(total)
+}
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.lru[i] = 0
+	}
+	c.stamp = 0
+	c.Hits = 0
+	c.Misses = 0
+}

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"eel/internal/sparc"
+)
+
+// fget64 reads the double-precision register pair rooted at even register
+// n (the even register holds the high word, per SPARC).
+func (in *Interp) fget64(n int) float64 {
+	bits := uint64(in.freg[n])<<32 | uint64(in.freg[n+1])
+	return math.Float64frombits(bits)
+}
+
+func (in *Interp) fset64(n int, v float64) {
+	bits := math.Float64bits(v)
+	in.freg[n] = uint32(bits >> 32)
+	in.freg[n+1] = uint32(bits)
+}
+
+func (in *Interp) fget32(n int) float32 {
+	return math.Float32frombits(in.freg[n])
+}
+
+func (in *Interp) fset32(n int, v float32) {
+	in.freg[n] = math.Float32bits(v)
+}
+
+// fpOp executes a floating-point operate instruction.
+func (in *Interp) fpOp(i *sparc.Inst) error {
+	rd := 0
+	if i.Rd.IsFloat() {
+		rd = i.Rd.FNum()
+	}
+	rs1 := 0
+	if i.Rs1.IsFloat() {
+		rs1 = i.Rs1.FNum()
+	}
+	rs2 := i.Rs2.FNum()
+
+	switch i.Op {
+	case sparc.OpFadds:
+		in.fset32(rd, in.fget32(rs1)+in.fget32(rs2))
+	case sparc.OpFsubs:
+		in.fset32(rd, in.fget32(rs1)-in.fget32(rs2))
+	case sparc.OpFmuls:
+		in.fset32(rd, in.fget32(rs1)*in.fget32(rs2))
+	case sparc.OpFdivs:
+		in.fset32(rd, in.fget32(rs1)/in.fget32(rs2))
+	case sparc.OpFaddd:
+		in.fset64(rd, in.fget64(rs1)+in.fget64(rs2))
+	case sparc.OpFsubd:
+		in.fset64(rd, in.fget64(rs1)-in.fget64(rs2))
+	case sparc.OpFmuld:
+		in.fset64(rd, in.fget64(rs1)*in.fget64(rs2))
+	case sparc.OpFdivd:
+		in.fset64(rd, in.fget64(rs1)/in.fget64(rs2))
+	case sparc.OpFsqrts:
+		in.fset32(rd, float32(math.Sqrt(float64(in.fget32(rs2)))))
+	case sparc.OpFsqrtd:
+		in.fset64(rd, math.Sqrt(in.fget64(rs2)))
+	case sparc.OpFmovs:
+		in.freg[rd] = in.freg[rs2]
+	case sparc.OpFnegs:
+		in.freg[rd] = in.freg[rs2] ^ 0x80000000
+	case sparc.OpFabss:
+		in.freg[rd] = in.freg[rs2] &^ 0x80000000
+	case sparc.OpFitos:
+		in.fset32(rd, float32(int32(in.freg[rs2])))
+	case sparc.OpFitod:
+		in.fset64(rd, float64(int32(in.freg[rs2])))
+	case sparc.OpFstoi:
+		in.freg[rd] = uint32(int32(in.fget32(rs2)))
+	case sparc.OpFdtoi:
+		in.freg[rd] = uint32(int32(in.fget64(rs2)))
+	case sparc.OpFstod:
+		in.fset64(rd, float64(in.fget32(rs2)))
+	case sparc.OpFdtos:
+		in.fset32(rd, float32(in.fget64(rs2)))
+	case sparc.OpFcmps:
+		in.fcc = fcompare(float64(in.fget32(rs1)), float64(in.fget32(rs2)))
+	case sparc.OpFcmpd:
+		in.fcc = fcompare(in.fget64(rs1), in.fget64(rs2))
+	default:
+		return fmt.Errorf("unimplemented fp op %s", i.Op.Name())
+	}
+	return nil
+}
+
+// fcompare returns the SPARC fcc code: 0=equal 1=less 2=greater
+// 3=unordered.
+func fcompare(a, b float64) uint8 {
+	switch {
+	case math.IsNaN(a) || math.IsNaN(b):
+		return 3
+	case a == b:
+		return 0
+	case a < b:
+		return 1
+	default:
+		return 2
+	}
+}

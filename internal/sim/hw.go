@@ -1,0 +1,258 @@
+package sim
+
+import (
+	"fmt"
+
+	"eel/internal/pipe"
+	"eel/internal/sparc"
+	"eel/internal/spawn"
+)
+
+// Rules capture grouping behaviors of the real machines that the SADL
+// descriptions deliberately do not model (the paper's descriptions "only
+// model the execution pipelines themselves"). They are part of the
+// hardware substrate, so the scheduler cannot see them — one source of the
+// paper's de-scheduling effect.
+type Rules struct {
+	// MemEndsGroup makes a load or store the last instruction of its
+	// issue group: nothing issues with it in the same cycle after it.
+	MemEndsGroup bool
+	// CTIEndsGroup makes a control-transfer end its group after the delay
+	// slot issues.
+	CTIEndsGroup bool
+	// RedirectPenalty is the fetch bubble (cycles) after any taken
+	// control transfer.
+	RedirectPenalty int64
+	// MispredictPenalty is added when a conditional branch goes against
+	// the static prediction.
+	MispredictPenalty int64
+	// PredictBackwardTaken enables static backward-taken/forward-untaken
+	// prediction; without it every taken conditional pays the redirect
+	// penalty and untaken ones are free.
+	PredictBackwardTaken bool
+	// StoreLoadGap forces a load to issue at least this many cycles after
+	// the previous store (store-buffer drain). The SADL descriptions do
+	// not model it — the compiler (which schedules against these Rules)
+	// knows it, EEL's scheduler does not.
+	StoreLoadGap int64
+}
+
+// MachineRules returns the hardware grouping rules for a machine.
+func MachineRules(m spawn.Machine) Rules {
+	switch m {
+	case spawn.HyperSPARC:
+		return Rules{RedirectPenalty: 1}
+	case spawn.SuperSPARC:
+		return Rules{MemEndsGroup: true, CTIEndsGroup: true, RedirectPenalty: 1}
+	case spawn.UltraSPARC:
+		return Rules{
+			MemEndsGroup:         true,
+			RedirectPenalty:      1,
+			MispredictPenalty:    3,
+			PredictBackwardTaken: true,
+		}
+	}
+	return Rules{RedirectPenalty: 1}
+}
+
+// ringSize bounds how far ahead of the clock an instruction can reserve
+// units; it must exceed the longest group span plus slack.
+const ringSize = 128
+
+// HW is the hardware issue engine: the spawn model's units and latencies
+// plus the Rules. It is used two ways: statically (via HWPipeline) as the
+// "compiler's" scheduling model when the workload generator pre-schedules
+// code, and dynamically (via Timing) to measure execution.
+type HW struct {
+	model *spawn.Model
+	rules Rules
+
+	heldOf   [][][]int // group id -> per-cycle unit holdings
+	resolver pipe.Resolver
+
+	ring      [ringSize][]int
+	maxSeen   int64 // highest cycle with valid ring contents
+	ready     [sparc.NumRegs]int64
+	clock     int64
+	fetchMin  int64 // earliest issue allowed by fetch (redirects, cache)
+	lastStore int64 // issue cycle of the most recent store
+}
+
+// NewHW builds an issue engine for a model and rules.
+func NewHW(model *spawn.Model, rules Rules) *HW {
+	h := &HW{model: model, rules: rules}
+	h.heldOf = make([][][]int, len(model.Groups))
+	for gi, g := range model.Groups {
+		span := len(g.Acquire)
+		held := make([][]int, span)
+		cur := make([]int, len(model.Units))
+		for k := 0; k < span; k++ {
+			for _, e := range g.Release[k] {
+				cur[e.Unit] -= e.Num
+			}
+			for _, e := range g.Acquire[k] {
+				cur[e.Unit] += e.Num
+			}
+			row := make([]int, len(cur))
+			copy(row, cur)
+			held[k] = row
+		}
+		h.heldOf[gi] = held
+	}
+	for i := range h.ring {
+		h.ring[i] = make([]int, len(model.Units))
+	}
+	h.Reset()
+	return h
+}
+
+// Reset clears all state.
+func (h *HW) Reset() {
+	h.clock = 0
+	h.fetchMin = 0
+	h.maxSeen = -1
+	h.lastStore = -1
+	for i := range h.ring {
+		for u := range h.ring[i] {
+			h.ring[i][u] = 0
+		}
+	}
+	for i := range h.ready {
+		h.ready[i] = -1
+	}
+}
+
+// Clock returns the issue cycle of the most recent instruction.
+func (h *HW) Clock() int64 { return h.clock }
+
+// slot returns the ring row for an absolute cycle, zeroing rows the first
+// time they come into view.
+func (h *HW) slot(cycle int64) []int {
+	for h.maxSeen < cycle {
+		h.maxSeen++
+		row := h.ring[h.maxSeen&(ringSize-1)]
+		for u := range row {
+			row[u] = 0
+		}
+	}
+	return h.ring[cycle&(ringSize-1)]
+}
+
+// Delay constrains the next instruction's issue to at least cycle c
+// (fetch redirects, cache misses).
+func (h *HW) Delay(c int64) {
+	if c > h.fetchMin {
+		h.fetchMin = c
+	}
+}
+
+// place finds the earliest issue cycle for inst; commit records it.
+func (h *HW) place(inst *sparc.Inst, commit bool) (int64, error) {
+	g, err := h.model.GroupOf(*inst)
+	if err != nil {
+		return 0, err
+	}
+	held := h.heldOf[g.ID]
+	reads, writes := h.resolver.Resolve(g, *inst)
+
+	t := h.clock
+	if h.fetchMin > t {
+		t = h.fetchMin
+	}
+	if h.rules.StoreLoadGap > 0 && inst.Op.IsLoad() && h.lastStore >= 0 {
+		if min := h.lastStore + h.rules.StoreLoadGap; min > t {
+			t = min
+		}
+	}
+search:
+	for ; ; t++ {
+		if t-h.clock > 1<<16 {
+			return 0, fmt.Errorf("sim: cannot place %v", inst)
+		}
+		// RAW: start from a lower bound rather than testing cycle by
+		// cycle.
+		for _, r := range reads {
+			if need := h.ready[r.Reg] - int64(r.Cycle); need > t {
+				t = need
+			}
+		}
+		// WAW ordering.
+		for _, w := range writes {
+			if avail := t + int64(w.Cycle); avail <= h.ready[w.Reg] {
+				continue search
+			}
+		}
+		// Structural hazards.
+		for k, row := range held {
+			slot := h.slot(t + int64(k))
+			for u, n := range row {
+				if n > 0 && slot[u]+n > h.model.Units[u].Count {
+					continue search
+				}
+			}
+		}
+		break
+	}
+
+	if commit {
+		for k, row := range held {
+			slot := h.slot(t + int64(k))
+			for u, n := range row {
+				slot[u] += n
+			}
+		}
+		for _, w := range writes {
+			if avail := t + int64(w.Cycle); avail > h.ready[w.Reg] {
+				h.ready[w.Reg] = avail
+			}
+		}
+		h.clock = t
+		if h.fetchMin < t {
+			h.fetchMin = t
+		}
+		if h.rules.MemEndsGroup && (inst.Op.IsLoad() || inst.Op.IsStore()) {
+			h.Delay(t + 1)
+		}
+		if inst.Op.IsStore() {
+			h.lastStore = t
+		}
+	}
+	return t, nil
+}
+
+// HWPipeline adapts HW to the scheduler's Pipeline interface, so the
+// workload generator can pre-schedule code the way the vendors' compilers
+// did: against the real machine's grouping rules.
+type HWPipeline struct {
+	hw *HW
+}
+
+// NewHWPipeline returns a schedulable view of the hardware model.
+func NewHWPipeline(model *spawn.Model, rules Rules) *HWPipeline {
+	return &HWPipeline{hw: NewHW(model, rules)}
+}
+
+// Reset clears the pipeline state.
+func (p *HWPipeline) Reset() { p.hw.Reset() }
+
+// Stalls returns the issue delay inst would incur, without committing.
+func (p *HWPipeline) Stalls(inst sparc.Inst) (int, error) {
+	t, err := p.hw.place(&inst, false)
+	if err != nil {
+		return 0, err
+	}
+	return int(t - p.hw.clock), nil
+}
+
+// Issue commits inst and returns its stall count and issue cycle.
+func (p *HWPipeline) Issue(inst sparc.Inst) (int, int64, error) {
+	before := p.hw.clock
+	t, err := p.hw.place(&inst, true)
+	if err != nil {
+		return 0, 0, err
+	}
+	if p.hw.rules.CTIEndsGroup && inst.IsCTI() {
+		p.hw.Delay(t + 1)
+	}
+	return int(t - before), t, nil
+}

@@ -1,0 +1,551 @@
+// Package sim is the measurement substrate standing in for the paper's
+// real SuperSPARC and UltraSPARC machines: a functional SPARC V8
+// interpreter (used to run edited executables and validate profiling
+// counts) and a detailed hardware timing model (used to measure execution
+// cycles). The timing model is deliberately richer than the scheduler's
+// SADL-derived model — it adds instruction-cache behavior, fetch redirect
+// and branch misprediction penalties, and grouping rules — preserving the
+// paper's central asymmetry: EEL schedules against a simplified model of
+// the machine that actually runs the code.
+package sim
+
+import (
+	"fmt"
+
+	"eel/internal/exe"
+	"eel/internal/sparc"
+)
+
+// Halt trap numbers: "ta 0" ends the program.
+const TrapExit = 0
+
+// Memory is a sparse byte-addressed memory with 4 KiB pages.
+type Memory struct {
+	pages map[uint32]*[pageSize]byte
+}
+
+const pageSize = 4096
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint32]*[pageSize]byte)}
+}
+
+func (m *Memory) page(addr uint32) *[pageSize]byte {
+	key := addr / pageSize
+	p, ok := m.pages[key]
+	if !ok {
+		p = new([pageSize]byte)
+		m.pages[key] = p
+	}
+	return p
+}
+
+// Read8 returns the byte at addr.
+func (m *Memory) Read8(addr uint32) byte {
+	return m.page(addr)[addr%pageSize]
+}
+
+// Write8 stores a byte at addr.
+func (m *Memory) Write8(addr uint32, v byte) {
+	m.page(addr)[addr%pageSize] = v
+}
+
+// Read32 returns the big-endian word at addr (which need not be aligned
+// across a page: SPARC requires alignment, enforced by the interpreter).
+func (m *Memory) Read32(addr uint32) uint32 {
+	p := m.page(addr)
+	o := addr % pageSize
+	return uint32(p[o])<<24 | uint32(p[o+1])<<16 | uint32(p[o+2])<<8 | uint32(p[o+3])
+}
+
+// Write32 stores a big-endian word.
+func (m *Memory) Write32(addr uint32, v uint32) {
+	p := m.page(addr)
+	o := addr % pageSize
+	p[o] = byte(v >> 24)
+	p[o+1] = byte(v >> 16)
+	p[o+2] = byte(v >> 8)
+	p[o+3] = byte(v)
+}
+
+// Read16/Write16 for halfword accesses.
+func (m *Memory) Read16(addr uint32) uint16 {
+	p := m.page(addr)
+	o := addr % pageSize
+	return uint16(p[o])<<8 | uint16(p[o+1])
+}
+
+func (m *Memory) Write16(addr uint32, v uint16) {
+	p := m.page(addr)
+	o := addr % pageSize
+	p[o] = byte(v >> 8)
+	p[o+1] = byte(v)
+}
+
+// Interp executes a SPARC V8 executable functionally.
+type Interp struct {
+	x     *exe.Exe
+	insts []sparc.Inst
+	mem   *Memory
+
+	reg        [32]uint32
+	freg       [32]uint32
+	n, z, v, c bool  // integer condition codes
+	fcc        uint8 // 0=E 1=L 2=G 3=U
+	y          uint32
+
+	steps uint64
+}
+
+// StackTop is the initial stack pointer.
+const StackTop = 0x7ffff000
+
+// NewInterp decodes the executable and prepares an initial machine state:
+// data segment loaded, registers zeroed, %sp set to StackTop.
+func NewInterp(x *exe.Exe) (*Interp, error) {
+	if err := x.Validate(); err != nil {
+		return nil, err
+	}
+	insts, err := sparc.DecodeAll(x.Text)
+	if err != nil {
+		return nil, err
+	}
+	in := &Interp{x: x, insts: insts, mem: NewMemory()}
+	for i, b := range x.Data {
+		in.mem.Write8(x.DataBase+uint32(i), b)
+	}
+	in.reg[sparc.SP] = StackTop
+	return in, nil
+}
+
+// Mem exposes the interpreter's memory (e.g. to read profiling counters
+// after a run).
+func (in *Interp) Mem() *Memory { return in.mem }
+
+// Reg returns the value of an integer register.
+func (in *Interp) Reg(r sparc.Reg) uint32 { return in.reg[r] }
+
+// Steps returns the number of instructions executed so far.
+func (in *Interp) Steps() uint64 { return in.steps }
+
+// Result summarizes a run.
+type Result struct {
+	Steps  uint64
+	Halted bool // true if the program executed "ta 0"
+}
+
+// Observer receives every executed instruction in dynamic order, with its
+// text index. The timing models consume this stream.
+type Observer func(idx int, inst *sparc.Inst)
+
+// Run executes from the entry point until "ta 0", an error, or maxSteps
+// instructions. A nil observer is allowed.
+func (in *Interp) Run(maxSteps uint64, observe Observer) (Result, error) {
+	entry, err := in.x.IndexOf(in.x.Entry)
+	if err != nil {
+		return Result{}, err
+	}
+	n := len(in.insts)
+	pc, npc := entry, entry+1
+
+	for in.steps < maxSteps {
+		if pc < 0 || pc >= n {
+			return Result{Steps: in.steps}, fmt.Errorf("sim: pc %d outside text after %d steps", pc, in.steps)
+		}
+		inst := &in.insts[pc]
+		in.steps++
+		if observe != nil {
+			observe(pc, inst)
+		}
+
+		nextPC, nextNPC := npc, npc+1
+		switch inst.Op {
+		case sparc.OpBicc:
+			taken := in.evalIcc(inst.Cond)
+			if taken {
+				nextNPC = pc + int(inst.Disp)
+			}
+			if inst.Annul && (!taken || inst.Cond == sparc.CondA) {
+				// Annulled: skip the delay slot.
+				nextPC = nextNPC
+				nextNPC = nextPC + 1
+				if taken {
+					nextPC = pc + int(inst.Disp)
+					nextNPC = nextPC + 1
+				}
+			}
+		case sparc.OpFBfcc:
+			taken := in.evalFcc(inst.Cond)
+			if taken {
+				nextNPC = pc + int(inst.Disp)
+			}
+			if inst.Annul && (!taken || inst.Cond == sparc.CondA) {
+				nextPC = nextNPC
+				nextNPC = nextPC + 1
+				if taken {
+					nextPC = pc + int(inst.Disp)
+					nextNPC = nextPC + 1
+				}
+			}
+		case sparc.OpCall:
+			in.reg[sparc.O7] = in.x.AddrOf(pc)
+			nextNPC = pc + int(inst.Disp)
+		case sparc.OpJmpl:
+			target := in.reg[inst.Rs1] + in.operand2(inst)
+			idx, err := in.x.IndexOf(target)
+			if err != nil {
+				return Result{Steps: in.steps}, fmt.Errorf("sim: jmpl to bad address %#x at pc %d", target, pc)
+			}
+			if inst.Rd != sparc.G0 {
+				in.reg[inst.Rd] = in.x.AddrOf(pc)
+			}
+			nextNPC = idx
+		case sparc.OpTicc:
+			if in.evalIcc(inst.Cond) {
+				tn := in.reg[inst.Rs1] + in.operand2(inst)
+				if int32(tn) == TrapExit || inst.Imm == TrapExit {
+					return Result{Steps: in.steps, Halted: true}, nil
+				}
+				return Result{Steps: in.steps}, fmt.Errorf("sim: unhandled trap %d at pc %d", tn, pc)
+			}
+		default:
+			if err := in.execute(inst); err != nil {
+				return Result{Steps: in.steps}, fmt.Errorf("sim: at pc %d: %w", pc, err)
+			}
+		}
+		pc, npc = nextPC, nextNPC
+	}
+	return Result{Steps: in.steps}, fmt.Errorf("sim: step limit %d exceeded", maxSteps)
+}
+
+// operand2 returns rs2 or the sign-extended immediate.
+func (in *Interp) operand2(i *sparc.Inst) uint32 {
+	if i.UseImm {
+		return uint32(i.Imm)
+	}
+	return in.reg[i.Rs2]
+}
+
+// setReg writes an integer register; %g0 stays zero.
+func (in *Interp) setReg(r sparc.Reg, v uint32) {
+	if r != sparc.G0 {
+		in.reg[r] = v
+	}
+}
+
+// execute handles non-CTI instructions.
+func (in *Interp) execute(i *sparc.Inst) error {
+	switch i.Op {
+	case sparc.OpNop:
+		return nil
+	case sparc.OpSethi:
+		in.setReg(i.Rd, uint32(i.Imm)<<10)
+		return nil
+
+	case sparc.OpAdd, sparc.OpSave, sparc.OpRestore:
+		// save/restore act as plain adds: the workload generator emits
+		// leaf procedures only, so no register-window shifting is needed.
+		in.setReg(i.Rd, in.reg[i.Rs1]+in.operand2(i))
+		return nil
+	case sparc.OpSub:
+		in.setReg(i.Rd, in.reg[i.Rs1]-in.operand2(i))
+		return nil
+	case sparc.OpAddcc:
+		a, b := in.reg[i.Rs1], in.operand2(i)
+		r := a + b
+		in.setIcc(r)
+		in.c = r < a
+		in.v = (^(a^b)&(a^r))>>31 != 0
+		in.setReg(i.Rd, r)
+		return nil
+	case sparc.OpSubcc:
+		a, b := in.reg[i.Rs1], in.operand2(i)
+		r := a - b
+		in.setIcc(r)
+		in.c = b > a
+		in.v = ((a^b)&(a^r))>>31 != 0
+		in.setReg(i.Rd, r)
+		return nil
+	case sparc.OpAddx:
+		carry := uint32(0)
+		if in.c {
+			carry = 1
+		}
+		in.setReg(i.Rd, in.reg[i.Rs1]+in.operand2(i)+carry)
+		return nil
+	case sparc.OpSubx:
+		borrow := uint32(0)
+		if in.c {
+			borrow = 1
+		}
+		in.setReg(i.Rd, in.reg[i.Rs1]-in.operand2(i)-borrow)
+		return nil
+	case sparc.OpAnd:
+		in.setReg(i.Rd, in.reg[i.Rs1]&in.operand2(i))
+		return nil
+	case sparc.OpAndn:
+		in.setReg(i.Rd, in.reg[i.Rs1]&^in.operand2(i))
+		return nil
+	case sparc.OpOr:
+		in.setReg(i.Rd, in.reg[i.Rs1]|in.operand2(i))
+		return nil
+	case sparc.OpOrn:
+		in.setReg(i.Rd, in.reg[i.Rs1]|^in.operand2(i))
+		return nil
+	case sparc.OpXor:
+		in.setReg(i.Rd, in.reg[i.Rs1]^in.operand2(i))
+		return nil
+	case sparc.OpXnor:
+		in.setReg(i.Rd, ^(in.reg[i.Rs1] ^ in.operand2(i)))
+		return nil
+	case sparc.OpAndcc, sparc.OpOrcc, sparc.OpXorcc:
+		a, b := in.reg[i.Rs1], in.operand2(i)
+		var r uint32
+		switch i.Op {
+		case sparc.OpAndcc:
+			r = a & b
+		case sparc.OpOrcc:
+			r = a | b
+		default:
+			r = a ^ b
+		}
+		in.setIcc(r)
+		in.c, in.v = false, false
+		in.setReg(i.Rd, r)
+		return nil
+	case sparc.OpSll:
+		in.setReg(i.Rd, in.reg[i.Rs1]<<(in.operand2(i)&31))
+		return nil
+	case sparc.OpSrl:
+		in.setReg(i.Rd, in.reg[i.Rs1]>>(in.operand2(i)&31))
+		return nil
+	case sparc.OpSra:
+		in.setReg(i.Rd, uint32(int32(in.reg[i.Rs1])>>(in.operand2(i)&31)))
+		return nil
+	case sparc.OpUmul:
+		p := uint64(in.reg[i.Rs1]) * uint64(in.operand2(i))
+		in.y = uint32(p >> 32)
+		in.setReg(i.Rd, uint32(p))
+		return nil
+	case sparc.OpSmul:
+		p := int64(int32(in.reg[i.Rs1])) * int64(int32(in.operand2(i)))
+		in.y = uint32(uint64(p) >> 32)
+		in.setReg(i.Rd, uint32(p))
+		return nil
+	case sparc.OpUdiv:
+		d := in.operand2(i)
+		if d == 0 {
+			return fmt.Errorf("division by zero")
+		}
+		dividend := uint64(in.y)<<32 | uint64(in.reg[i.Rs1])
+		q := dividend / uint64(d)
+		if q > 0xffffffff {
+			q = 0xffffffff
+		}
+		in.setReg(i.Rd, uint32(q))
+		return nil
+	case sparc.OpSdiv:
+		d := int64(int32(in.operand2(i)))
+		if d == 0 {
+			return fmt.Errorf("division by zero")
+		}
+		dividend := int64(uint64(in.y)<<32 | uint64(in.reg[i.Rs1]))
+		q := dividend / d
+		if q > 0x7fffffff {
+			q = 0x7fffffff
+		}
+		if q < -0x80000000 {
+			q = -0x80000000
+		}
+		in.setReg(i.Rd, uint32(int32(q)))
+		return nil
+	case sparc.OpRdy:
+		in.setReg(i.Rd, in.y)
+		return nil
+	case sparc.OpWry:
+		in.y = in.reg[i.Rs1] ^ in.operand2(i)
+		return nil
+	}
+
+	if i.Op.IsLoad() || i.Op.IsStore() {
+		return in.memOp(i)
+	}
+	if i.Op.IsFP() {
+		return in.fpOp(i)
+	}
+	return fmt.Errorf("unimplemented opcode %s", i.Op.Name())
+}
+
+func (in *Interp) setIcc(r uint32) {
+	in.n = int32(r) < 0
+	in.z = r == 0
+}
+
+func (in *Interp) memOp(i *sparc.Inst) error {
+	addr := in.reg[i.Rs1] + in.operand2(i)
+	switch i.Op {
+	case sparc.OpLd:
+		if addr%4 != 0 {
+			return fmt.Errorf("misaligned ld at %#x", addr)
+		}
+		in.setReg(i.Rd, in.mem.Read32(addr))
+	case sparc.OpLdub:
+		in.setReg(i.Rd, uint32(in.mem.Read8(addr)))
+	case sparc.OpLdsb:
+		in.setReg(i.Rd, uint32(int32(int8(in.mem.Read8(addr)))))
+	case sparc.OpLduh:
+		if addr%2 != 0 {
+			return fmt.Errorf("misaligned lduh at %#x", addr)
+		}
+		in.setReg(i.Rd, uint32(in.mem.Read16(addr)))
+	case sparc.OpLdsh:
+		if addr%2 != 0 {
+			return fmt.Errorf("misaligned ldsh at %#x", addr)
+		}
+		in.setReg(i.Rd, uint32(int32(int16(in.mem.Read16(addr)))))
+	case sparc.OpLdd:
+		if addr%8 != 0 {
+			return fmt.Errorf("misaligned ldd at %#x", addr)
+		}
+		in.setReg(i.Rd, in.mem.Read32(addr))
+		in.setReg(i.Rd+1, in.mem.Read32(addr+4))
+	case sparc.OpSt:
+		if addr%4 != 0 {
+			return fmt.Errorf("misaligned st at %#x", addr)
+		}
+		in.mem.Write32(addr, in.reg[i.Rd])
+	case sparc.OpStb:
+		in.mem.Write8(addr, byte(in.reg[i.Rd]))
+	case sparc.OpSth:
+		if addr%2 != 0 {
+			return fmt.Errorf("misaligned sth at %#x", addr)
+		}
+		in.mem.Write16(addr, uint16(in.reg[i.Rd]))
+	case sparc.OpStd:
+		if addr%8 != 0 {
+			return fmt.Errorf("misaligned std at %#x", addr)
+		}
+		in.mem.Write32(addr, in.reg[i.Rd])
+		in.mem.Write32(addr+4, in.reg[i.Rd+1])
+	case sparc.OpLdf:
+		if addr%4 != 0 {
+			return fmt.Errorf("misaligned ldf at %#x", addr)
+		}
+		in.freg[i.Rd.FNum()] = in.mem.Read32(addr)
+	case sparc.OpLddf:
+		if addr%8 != 0 {
+			return fmt.Errorf("misaligned lddf at %#x", addr)
+		}
+		in.freg[i.Rd.FNum()] = in.mem.Read32(addr)
+		in.freg[i.Rd.FNum()+1] = in.mem.Read32(addr + 4)
+	case sparc.OpStf:
+		if addr%4 != 0 {
+			return fmt.Errorf("misaligned stf at %#x", addr)
+		}
+		in.mem.Write32(addr, in.freg[i.Rd.FNum()])
+	case sparc.OpStdf:
+		if addr%8 != 0 {
+			return fmt.Errorf("misaligned stdf at %#x", addr)
+		}
+		in.mem.Write32(addr, in.freg[i.Rd.FNum()])
+		in.mem.Write32(addr+4, in.freg[i.Rd.FNum()+1])
+	case sparc.OpSwap:
+		if addr%4 != 0 {
+			return fmt.Errorf("misaligned swap at %#x", addr)
+		}
+		old := in.mem.Read32(addr)
+		in.mem.Write32(addr, in.reg[i.Rd])
+		in.setReg(i.Rd, old)
+	case sparc.OpLdstub:
+		old := in.mem.Read8(addr)
+		in.mem.Write8(addr, 0xff)
+		in.setReg(i.Rd, uint32(old))
+	default:
+		return fmt.Errorf("unimplemented memory op %s", i.Op.Name())
+	}
+	return nil
+}
+
+// evalIcc evaluates a Bicc condition against the integer condition codes.
+func (in *Interp) evalIcc(c sparc.Cond) bool {
+	n, z, v, cf := in.n, in.z, in.v, in.c
+	switch c {
+	case sparc.CondN:
+		return false
+	case sparc.CondE:
+		return z
+	case sparc.CondLE:
+		return z || (n != v)
+	case sparc.CondL:
+		return n != v
+	case sparc.CondLEU:
+		return cf || z
+	case sparc.CondCS:
+		return cf
+	case sparc.CondNeg:
+		return n
+	case sparc.CondVS:
+		return v
+	case sparc.CondA:
+		return true
+	case sparc.CondNE:
+		return !z
+	case sparc.CondG:
+		return !(z || (n != v))
+	case sparc.CondGE:
+		return n == v
+	case sparc.CondGU:
+		return !(cf || z)
+	case sparc.CondCC:
+		return !cf
+	case sparc.CondPos:
+		return !n
+	case sparc.CondVC:
+		return !v
+	}
+	return false
+}
+
+// evalFcc evaluates an FBfcc condition. fcc: 0=E 1=L 2=G 3=U.
+func (in *Interp) evalFcc(c sparc.Cond) bool {
+	e := in.fcc == 0
+	l := in.fcc == 1
+	g := in.fcc == 2
+	u := in.fcc == 3
+	switch c {
+	case 0: // fbn
+		return false
+	case 1: // fbne
+		return l || g || u
+	case 2: // fblg
+		return l || g
+	case 3: // fbul
+		return l || u
+	case 4: // fbl
+		return l
+	case 5: // fbug
+		return g || u
+	case 6: // fbg
+		return g
+	case 7: // fbu
+		return u
+	case 8: // fba
+		return true
+	case 9: // fbe
+		return e
+	case 10: // fbue
+		return e || u
+	case 11: // fbge
+		return e || g
+	case 12: // fbuge
+		return e || g || u
+	case 13: // fble
+		return e || l
+	case 14: // fbule
+		return e || l || u
+	case 15: // fbo
+		return e || l || g
+	}
+	return false
+}

@@ -1,0 +1,277 @@
+package sim
+
+import (
+	"testing"
+
+	"eel/internal/sparc"
+)
+
+// Additional interpreter coverage: sub-word memory, carry arithmetic,
+// atomics, fp conversions and branch families.
+
+func TestInterpByteHalfword(t *testing.T) {
+	x := buildExe(t, `
+	sethi %hi(0x40000000), %o0
+	ldub [%o0 + 0], %g1   ! 0xfe -> 254
+	ldsb [%o0 + 0], %g2   ! 0xfe -> -2
+	lduh [%o0 + 2], %g3   ! 0x8004 -> 32772
+	ldsh [%o0 + 2], %g4   ! 0x8004 -> -32764
+	stb %g1, [%o0 + 8]
+	sth %g3, [%o0 + 10]
+	ta 0
+`)
+	x.Data = []byte{0xfe, 0x00, 0x80, 0x04, 0, 0, 0, 0, 0, 0, 0, 0}
+	in := run(t, x, 1e5)
+	if got := in.Reg(sparc.G1); got != 254 {
+		t.Errorf("ldub = %d", got)
+	}
+	if got := int32(in.Reg(sparc.G2)); got != -2 {
+		t.Errorf("ldsb = %d", got)
+	}
+	if got := in.Reg(sparc.G3); got != 0x8004 {
+		t.Errorf("lduh = %#x", got)
+	}
+	if got := int32(in.Reg(sparc.G4)); got != -32764 {
+		t.Errorf("ldsh = %d", got)
+	}
+	if got := in.Mem().Read8(0x40000008); got != 0xfe {
+		t.Errorf("stb stored %#x", got)
+	}
+	if got := in.Mem().Read16(0x4000000a); got != 0x8004 {
+		t.Errorf("sth stored %#x", got)
+	}
+}
+
+func TestInterpCarryChain(t *testing.T) {
+	// 64-bit add via addcc/addx: 0xffffffff + 1 = carry into high word.
+	x := buildExe(t, `
+	mov 0, %g1
+	sub %g1, 1, %g1        ! g1 = 0xffffffff
+	mov 0, %g2             ! high word
+	addcc %g1, 1, %g3      ! low = 0, C=1
+	addx %g2, 0, %g4       ! high = 1
+	ta 0
+`)
+	in := run(t, x, 1e5)
+	if got := in.Reg(sparc.G3); got != 0 {
+		t.Errorf("low word = %d", got)
+	}
+	if got := in.Reg(sparc.G4); got != 1 {
+		t.Errorf("high word = %d", got)
+	}
+	// subx borrows symmetrically: 0 - 1 at 64 bits.
+	x = buildExe(t, `
+	mov 0, %g1
+	mov 0, %g2
+	subcc %g1, 1, %g3      ! low = 0xffffffff, borrow
+	subx %g2, 0, %g4       ! high = 0xffffffff
+	ta 0
+`)
+	in = run(t, x, 1e5)
+	if got := in.Reg(sparc.G3); got != 0xffffffff {
+		t.Errorf("sub low = %#x", got)
+	}
+	if got := in.Reg(sparc.G4); got != 0xffffffff {
+		t.Errorf("sub high = %#x", got)
+	}
+}
+
+func TestInterpAtomics(t *testing.T) {
+	x := buildExe(t, `
+	sethi %hi(0x40000000), %o0
+	mov 77, %g1
+	swap [%o0], %g1        ! g1 <- old (5), mem <- 77
+	ldstub [%o0 + 4], %g2  ! g2 <- 0xaa, mem byte <- 0xff
+	ta 0
+`)
+	x.Data = []byte{0, 0, 0, 5, 0xaa, 0, 0, 0}
+	in := run(t, x, 1e5)
+	if got := in.Reg(sparc.G1); got != 5 {
+		t.Errorf("swap returned %d", got)
+	}
+	if got := in.Mem().Read32(0x40000000); got != 77 {
+		t.Errorf("swap stored %d", got)
+	}
+	if got := in.Reg(sparc.G2); got != 0xaa {
+		t.Errorf("ldstub returned %#x", got)
+	}
+	if got := in.Mem().Read8(0x40000004); got != 0xff {
+		t.Errorf("ldstub stored %#x", got)
+	}
+}
+
+func TestInterpShifts(t *testing.T) {
+	x := buildExe(t, `
+	mov 1, %g1
+	sll %g1, 31, %g2       ! 0x80000000
+	srl %g2, 31, %g3       ! 1
+	sra %g2, 31, %g4       ! 0xffffffff
+	mov 0x70, %g5
+	sll %g1, %g5, %o3      ! shift by reg, masked to 0x10 -> 0x10000
+	ta 0
+`)
+	in := run(t, x, 1e5)
+	if got := in.Reg(sparc.G2); got != 0x80000000 {
+		t.Errorf("sll = %#x", got)
+	}
+	if got := in.Reg(sparc.G3); got != 1 {
+		t.Errorf("srl = %d", got)
+	}
+	if got := in.Reg(sparc.G4); got != 0xffffffff {
+		t.Errorf("sra = %#x", got)
+	}
+	if got := in.Reg(sparc.O3); got != 1<<16 {
+		t.Errorf("sll by reg = %#x", got)
+	}
+}
+
+func TestInterpLogicalCC(t *testing.T) {
+	x := buildExe(t, `
+	mov 0, %g1
+	andcc %g1, %g1, %g0    ! Z=1
+	be z1
+	nop
+	mov 0, %g2
+	ba out
+	nop
+z1:	mov 1, %g2
+out:	ta 0
+`)
+	in := run(t, x, 1e5)
+	if got := in.Reg(sparc.G2); got != 1 {
+		t.Errorf("andcc Z flag path: g2 = %d", got)
+	}
+}
+
+func TestInterpFPConversions(t *testing.T) {
+	x := buildExe(t, `
+	sethi %hi(0x40000000), %o0
+	ld [%o0], %f0          ! int 42 as raw bits
+	fitod %f0, %f2         ! 42.0 (double)
+	fdtoi %f2, %f4         ! back to 42
+	st %f4, [%o0 + 8]
+	fitos %f0, %f6         ! 42.0f
+	fstoi %f6, %f8
+	st %f8, [%o0 + 12]
+	ta 0
+`)
+	x.Data = []byte{0, 0, 0, 42, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}
+	in := run(t, x, 1e5)
+	if got := in.Mem().Read32(0x40000008); got != 42 {
+		t.Errorf("fitod/fdtoi round trip = %d", got)
+	}
+	if got := in.Mem().Read32(0x4000000c); got != 42 {
+		t.Errorf("fitos/fstoi round trip = %d", got)
+	}
+}
+
+func TestInterpFNegAbsSqrt(t *testing.T) {
+	x := buildExe(t, `
+	sethi %hi(0x40000000), %o0
+	ldd [%o0], %f0        ! 9.0
+	fsqrtd %f0, %f2       ! 3.0
+	std %f2, [%o0 + 8]
+	ld [%o0 + 16], %f4    ! 2.0f
+	fnegs %f4, %f5
+	fabss %f5, %f6
+	st %f5, [%o0 + 20]
+	st %f6, [%o0 + 24]
+	ta 0
+`)
+	x.Data = make([]byte, 32)
+	bits := float64bits(9.0)
+	for i := 0; i < 8; i++ {
+		x.Data[i] = byte(bits >> (56 - 8*i))
+	}
+	f32 := float32bits(2.0)
+	for i := 0; i < 4; i++ {
+		x.Data[16+i] = byte(f32 >> (24 - 8*i))
+	}
+	in := run(t, x, 1e5)
+	hi := uint64(in.Mem().Read32(0x40000008))
+	lo := uint64(in.Mem().Read32(0x4000000c))
+	if got := float64frombits(hi<<32 | lo); got != 3.0 {
+		t.Errorf("fsqrtd(9) = %v", got)
+	}
+	if got := in.Mem().Read32(0x40000014); got != float32bits(-2.0) {
+		t.Errorf("fnegs = %#x", got)
+	}
+	if got := in.Mem().Read32(0x40000018); got != float32bits(2.0) {
+		t.Errorf("fabss = %#x", got)
+	}
+}
+
+func TestInterpFBranchFamily(t *testing.T) {
+	// fcmpd sets fcc; each branch picks the right arm.
+	cases := []struct {
+		br   string
+		a, b float64
+		want uint32
+	}{
+		{"fbe", 1.5, 1.5, 1},
+		{"fbne", 1.0, 2.0, 1},
+		{"fbl", 1.0, 2.0, 1},
+		{"fbg", 3.0, 2.0, 1},
+		{"fble", 2.0, 2.0, 1},
+		{"fbge", 2.0, 2.0, 1},
+		{"fbl", 3.0, 2.0, 0},
+		{"fbg", 1.0, 2.0, 0},
+	}
+	for _, c := range cases {
+		x := buildExe(t, `
+	sethi %hi(0x40000000), %o0
+	ldd [%o0], %f0
+	ldd [%o0 + 8], %f2
+	fcmpd %f0, %f2
+	nop
+	`+c.br+` yes
+	nop
+	mov 0, %g1
+	ba out
+	nop
+yes:	mov 1, %g1
+out:	ta 0
+`)
+		x.Data = make([]byte, 16)
+		putF64 := func(off int, v float64) {
+			bits := float64bits(v)
+			for i := 0; i < 8; i++ {
+				x.Data[off+i] = byte(bits >> (56 - 8*i))
+			}
+		}
+		putF64(0, c.a)
+		putF64(8, c.b)
+		in := run(t, x, 1e5)
+		if got := in.Reg(sparc.G1); got != c.want {
+			t.Errorf("%s with (%v,%v): g1 = %d, want %d", c.br, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestInterpSignedMulDiv(t *testing.T) {
+	x := buildExe(t, `
+	mov 0, %g1
+	sub %g1, 7, %g1        ! -7
+	mov 6, %g2
+	smul %g1, %g2, %g3     ! -42
+	wr %g0, %g0, %y
+	mov 0, %g4
+	sub %g4, 42, %g4       ! -42
+	rd %y, %o4             ! y is 0 here
+	sra %g4, 31, %g5       ! sign extension for dividend high
+	wr %g5, %g0, %y
+	mov 7, %o3
+	sdiv %g4, %o3, %o5     ! -6
+	ta 0
+`)
+	in := run(t, x, 1e5)
+	if got := int32(in.Reg(sparc.G3)); got != -42 {
+		t.Errorf("smul = %d", got)
+	}
+	if got := int32(in.Reg(sparc.O5)); got != -6 {
+		t.Errorf("sdiv = %d", got)
+	}
+	if got := in.Reg(sparc.O4); got != 0 {
+		t.Errorf("rd %%y = %d", got)
+	}
+}

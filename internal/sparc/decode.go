@@ -1,0 +1,172 @@
+package sparc
+
+import "fmt"
+
+// reverse lookup tables built from opTable.
+var (
+	aluByOp3 = func() map[uint32]Op {
+		m := make(map[uint32]Op)
+		for op := Op(1); op < NumOps; op++ {
+			info := opTable[op]
+			if info.mem || info.opf != 0 {
+				continue
+			}
+			switch op {
+			case OpSethi, OpBicc, OpFBfcc, OpCall, OpNop:
+				continue
+			}
+			m[info.op3] = op
+		}
+		return m
+	}()
+	memByOp3 = func() map[uint32]Op {
+		m := make(map[uint32]Op)
+		for op := Op(1); op < NumOps; op++ {
+			if opTable[op].mem {
+				m[opTable[op].op3] = op
+			}
+		}
+		return m
+	}()
+	fpByOpf = func() map[uint32]Op {
+		m := make(map[uint32]Op)
+		for op := Op(1); op < NumOps; op++ {
+			info := opTable[op]
+			if info.opf != 0 {
+				m[info.opf] = op
+			}
+		}
+		return m
+	}()
+)
+
+// signExtend interprets the low n bits of w as a signed two's-complement
+// value.
+func signExtend(w uint32, n uint) int32 {
+	shift := 32 - n
+	return int32(w<<shift) >> shift
+}
+
+// Decode decodes a 32-bit SPARC V8 instruction word. It is the inverse of
+// Encode over the supported subset: Decode(Encode(i)) == i for every valid
+// Inst (with Instrumented cleared).
+func Decode(w uint32) (Inst, error) {
+	switch w >> 30 {
+	case 0: // format 2
+		op2 := (w >> 22) & 7
+		switch op2 {
+		case op2Sethi:
+			rd := Reg((w >> 25) & 31)
+			imm := int32(w & 0x3fffff)
+			if rd == G0 && imm == 0 {
+				return Inst{Op: OpNop, UseImm: true}, nil
+			}
+			return Inst{Op: OpSethi, Rd: rd, Imm: imm, UseImm: true}, nil
+		case op2Bicc, op2FBfcc:
+			op := OpBicc
+			if op2 == op2FBfcc {
+				op = OpFBfcc
+			}
+			return Inst{
+				Op:    op,
+				Cond:  Cond((w >> 25) & 15),
+				Annul: w>>29&1 == 1,
+				Disp:  signExtend(w, 22),
+			}, nil
+		}
+		return Inst{}, fmt.Errorf("sparc: unsupported format-2 op2=%d in %#08x", op2, w)
+
+	case 1: // call
+		return Inst{Op: OpCall, Disp: signExtend(w, 30)}, nil
+
+	case 2: // arithmetic / FPop / ticc
+		op3 := (w >> 19) & 0x3f
+		switch op3 {
+		case op3FPop1, op3FPop2:
+			opf := (w >> 5) & 0x1ff
+			op, ok := fpByOpf[opf]
+			if !ok {
+				return Inst{}, fmt.Errorf("sparc: unsupported opf=%#x in %#08x", opf, w)
+			}
+			inst := Inst{Op: op, Rs2: FReg(int(w & 31))}
+			if !opTable[op].fpop2 {
+				inst.Rd = FReg(int((w >> 25) & 31))
+			} else {
+				inst.Rs1 = FReg(int((w >> 14) & 31))
+			}
+			if !inst.fpSingleSrc() && !opTable[op].fpop2 {
+				inst.Rs1 = FReg(int((w >> 14) & 31))
+			}
+			return inst, nil
+		case 0x3a: // Ticc
+			inst := Inst{
+				Op:   OpTicc,
+				Cond: Cond((w >> 25) & 15),
+				Rs1:  Reg((w >> 14) & 31),
+			}
+			if w>>13&1 == 1 {
+				inst.UseImm = true
+				inst.Imm = int32(w & 0x7f)
+			} else {
+				inst.Rs2 = Reg(w & 31)
+			}
+			return inst, nil
+		}
+		op, ok := aluByOp3[op3]
+		if !ok {
+			return Inst{}, fmt.Errorf("sparc: unsupported op3=%#x in %#08x", op3, w)
+		}
+		inst := Inst{
+			Op:  op,
+			Rd:  Reg((w >> 25) & 31),
+			Rs1: Reg((w >> 14) & 31),
+		}
+		if w>>13&1 == 1 {
+			inst.UseImm = true
+			inst.Imm = signExtend(w, 13)
+		} else {
+			inst.Rs2 = Reg(w & 31)
+		}
+		return inst, nil
+
+	case 3: // memory
+		op3 := (w >> 19) & 0x3f
+		op, ok := memByOp3[op3]
+		if !ok {
+			return Inst{}, fmt.Errorf("sparc: unsupported memory op3=%#x in %#08x", op3, w)
+		}
+		inst := Inst{
+			Op:  op,
+			Rs1: Reg((w >> 14) & 31),
+		}
+		rd := (w >> 25) & 31
+		if op == OpLdf || op == OpLddf || op == OpStf || op == OpStdf {
+			inst.Rd = FReg(int(rd))
+		} else {
+			inst.Rd = Reg(rd)
+		}
+		if w>>13&1 == 1 {
+			inst.UseImm = true
+			inst.Imm = signExtend(w, 13)
+		} else {
+			inst.Rs2 = Reg(w & 31)
+		}
+		return inst, nil
+	}
+	panic("unreachable")
+}
+
+// DecodeAll decodes a text segment (big-endian 32-bit words) into
+// instructions. It is the disassembly entry point used by the editing
+// library.
+func DecodeAll(words []uint32) ([]Inst, error) {
+	insts := make([]Inst, len(words))
+	for i, w := range words {
+		inst, err := Decode(w)
+		if err != nil {
+			return nil, fmt.Errorf("at word %d: %w", i, err)
+		}
+		insts[i] = inst
+	}
+	return insts, nil
+}

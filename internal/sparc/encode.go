@@ -1,0 +1,128 @@
+package sparc
+
+import "fmt"
+
+// SPARC V8 instruction word layout (The SPARC Architecture Manual, V8):
+//
+//	Format 1 (op=1): call        op[31:30] disp30[29:0]
+//	Format 2 (op=0): sethi/Bicc  op rd[29:25] op2[24:22] imm22[21:0]
+//	                 branches    op a[29] cond[28:25] op2 disp22[21:0]
+//	Format 3 (op=2,3):           op rd[29:25] op3[24:19] rs1[18:14]
+//	                             i[13] (i=1: simm13[12:0]; i=0: asi[12:5] rs2[4:0])
+//	                 FPop:       i=0 space holds opf[13:5] rs2[4:0]
+const (
+	op2UNIMP = 0
+	op2Bicc  = 2
+	op2Sethi = 4
+	op2FBfcc = 6
+
+	op3FPop1 = 0x34
+	op3FPop2 = 0x35
+)
+
+// Encode produces the 32-bit binary encoding of the instruction.
+func Encode(i Inst) (uint32, error) {
+	switch i.Op {
+	case OpInvalid:
+		return 0, fmt.Errorf("sparc: encode invalid instruction")
+	case OpNop:
+		// nop == sethi 0, %g0
+		return op2Sethi << 22, nil
+	case OpSethi:
+		if uint32(i.Imm)>>22 != 0 {
+			return 0, fmt.Errorf("sparc: sethi immediate %#x exceeds 22 bits", i.Imm)
+		}
+		return uint32(i.Rd)<<25 | op2Sethi<<22 | uint32(i.Imm)&0x3fffff, nil
+	case OpBicc, OpFBfcc:
+		if i.Disp < -(1<<21) || i.Disp >= 1<<21 {
+			return 0, fmt.Errorf("sparc: branch displacement %d exceeds 22 bits", i.Disp)
+		}
+		op2 := uint32(op2Bicc)
+		if i.Op == OpFBfcc {
+			op2 = op2FBfcc
+		}
+		w := uint32(i.Cond)<<25 | op2<<22 | uint32(i.Disp)&0x3fffff
+		if i.Annul {
+			w |= 1 << 29
+		}
+		return w, nil
+	case OpCall:
+		return 1<<30 | uint32(i.Disp)&0x3fffffff, nil
+	case OpTicc:
+		// ta: op=2, op3=0x3a, cond in the rd field's low bits (cond[28:25]).
+		w := uint32(2)<<30 | uint32(i.Cond)<<25 | uint32(0x3a)<<19 | uint32(i.Rs1)<<14
+		if i.UseImm {
+			return w | 1<<13 | uint32(i.Imm)&0x7f, nil
+		}
+		return w | uint32(i.Rs2)&31, nil
+	}
+
+	info := opTable[i.Op]
+	if info.class == ClassFPAdd || info.class == ClassFPMul || info.class == ClassFPDiv {
+		op3 := uint32(op3FPop1)
+		if info.fpop2 {
+			op3 = op3FPop2
+		}
+		var rd, rs1 uint32
+		if !info.fpop2 {
+			if !i.Rd.IsFloat() {
+				return 0, fmt.Errorf("sparc: %s destination %s is not an fp register", i.Op.Name(), i.Rd)
+			}
+			rd = uint32(i.Rd.FNum())
+		}
+		if !i.fpSingleSrc() {
+			if !i.Rs1.IsFloat() {
+				return 0, fmt.Errorf("sparc: %s source %s is not an fp register", i.Op.Name(), i.Rs1)
+			}
+			rs1 = uint32(i.Rs1.FNum())
+		}
+		if !i.Rs2.IsFloat() {
+			return 0, fmt.Errorf("sparc: %s source %s is not an fp register", i.Op.Name(), i.Rs2)
+		}
+		return uint32(2)<<30 | rd<<25 | op3<<19 | rs1<<14 |
+			info.opf<<5 | uint32(i.Rs2.FNum()), nil
+	}
+
+	op := uint32(2)
+	if info.mem {
+		op = 3
+	}
+	var rd uint32
+	switch {
+	case i.Op == OpLdf || i.Op == OpLddf || i.Op == OpStf || i.Op == OpStdf:
+		if !i.Rd.IsFloat() {
+			return 0, fmt.Errorf("sparc: %s data register %s is not an fp register", i.Op.Name(), i.Rd)
+		}
+		rd = uint32(i.Rd.FNum())
+	default:
+		if !i.Rd.IsInt() {
+			return 0, fmt.Errorf("sparc: %s destination %s is not an integer register", i.Op.Name(), i.Rd)
+		}
+		rd = uint32(i.Rd)
+	}
+	if !i.Rs1.IsInt() {
+		return 0, fmt.Errorf("sparc: %s rs1 %s is not an integer register", i.Op.Name(), i.Rs1)
+	}
+	w := op<<30 | rd<<25 | info.op3<<19 | uint32(i.Rs1)<<14
+	if i.UseImm {
+		if i.Imm < -(1<<12) || i.Imm >= 1<<12 {
+			return 0, fmt.Errorf("sparc: immediate %d exceeds simm13", i.Imm)
+		}
+		w |= 1<<13 | uint32(i.Imm)&0x1fff
+	} else {
+		if !i.Rs2.IsInt() {
+			return 0, fmt.Errorf("sparc: %s rs2 %s is not an integer register", i.Op.Name(), i.Rs2)
+		}
+		w |= uint32(i.Rs2)
+	}
+	return w, nil
+}
+
+// MustEncode encodes or panics; for compile-time-constant sequences.
+func MustEncode(i Inst) uint32 {
+	w, err := Encode(i)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}

@@ -1,0 +1,327 @@
+package sparc
+
+import "fmt"
+
+// Inst is a decoded SPARC V8 instruction. The zero value is invalid.
+//
+// Operand conventions follow the hardware formats:
+//   - ALU/shift:   rd = op(rs1, rs2|simm13)
+//   - sethi:       rd = imm22 << 10
+//   - load:        rd = mem[rs1 + (rs2|simm13)]
+//   - store:       mem[rs1 + (rs2|simm13)] = rd
+//   - Bicc/FBfcc:  pc-relative Disp (word displacement), Cond, Annul
+//   - call:        pc-relative Disp (word displacement)
+//   - jmpl:        rd = pc; pc = rs1 + (rs2|simm13)
+//   - FPop:        rd = op(rs1, rs2) over the fp register file
+type Inst struct {
+	Op     Op
+	Rd     Reg
+	Rs1    Reg
+	Rs2    Reg
+	Imm    int32 // simm13 for format 3, imm22 for sethi, sw trap number for ta
+	UseImm bool
+	Cond   Cond
+	Annul  bool
+	Disp   int32 // branch/call displacement in words (instructions)
+
+	// Instrumented marks instructions inserted by an editing tool rather
+	// than decoded from the original executable. The scheduler applies the
+	// paper's relaxed memory-aliasing rule to instrumented loads and stores.
+	Instrumented bool
+}
+
+// NewALU builds a three-register ALU/shift/fp-style instruction.
+func NewALU(op Op, rd, rs1, rs2 Reg) Inst {
+	return Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2}
+}
+
+// NewALUImm builds a register+immediate ALU instruction.
+func NewALUImm(op Op, rd, rs1 Reg, imm int32) Inst {
+	return Inst{Op: op, Rd: rd, Rs1: rs1, Imm: imm, UseImm: true}
+}
+
+// NewSethi builds sethi imm22, rd. imm is the 22-bit value (not shifted).
+func NewSethi(rd Reg, imm22 int32) Inst {
+	return Inst{Op: OpSethi, Rd: rd, Imm: imm22, UseImm: true}
+}
+
+// NewNop builds the canonical nop (sethi 0, %g0).
+func NewNop() Inst { return Inst{Op: OpNop, UseImm: true} }
+
+// NewLoad builds rd = mem[rs1 + imm].
+func NewLoad(op Op, rd, rs1 Reg, imm int32) Inst {
+	return Inst{Op: op, Rd: rd, Rs1: rs1, Imm: imm, UseImm: true}
+}
+
+// NewLoadIdx builds rd = mem[rs1 + rs2].
+func NewLoadIdx(op Op, rd, rs1, rs2 Reg) Inst {
+	return Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2}
+}
+
+// NewStore builds mem[rs1 + imm] = rd.
+func NewStore(op Op, rd, rs1 Reg, imm int32) Inst {
+	return Inst{Op: op, Rd: rd, Rs1: rs1, Imm: imm, UseImm: true}
+}
+
+// NewBranch builds a Bicc with word displacement disp.
+func NewBranch(cond Cond, disp int32) Inst {
+	return Inst{Op: OpBicc, Cond: cond, Disp: disp}
+}
+
+// NewFBranch builds an FBfcc with word displacement disp.
+func NewFBranch(cond Cond, disp int32) Inst {
+	return Inst{Op: OpFBfcc, Cond: cond, Disp: disp}
+}
+
+// NewCall builds call with word displacement disp.
+func NewCall(disp int32) Inst { return Inst{Op: OpCall, Disp: disp} }
+
+// NewJmpl builds jmpl rs1+imm, rd. "retl" is jmpl %o7+8, %g0.
+func NewJmpl(rd, rs1 Reg, imm int32) Inst {
+	return Inst{Op: OpJmpl, Rd: rd, Rs1: rs1, Imm: imm, UseImm: true}
+}
+
+// NewTrap builds "ta imm" — trap always with a software trap number. The
+// simulator's halt and I/O conventions are built on it.
+func NewTrap(imm int32) Inst {
+	return Inst{Op: OpTicc, Cond: CondA, Imm: imm, UseImm: true, Rs1: G0}
+}
+
+// IsCTI reports whether the instruction transfers control (and therefore
+// has an architectural delay slot).
+func (i Inst) IsCTI() bool { return i.Op.IsCTI() }
+
+// IsUncond reports whether the instruction unconditionally transfers
+// control (ba, call, jmpl, fba).
+func (i Inst) IsUncond() bool {
+	switch i.Op {
+	case OpCall, OpJmpl:
+		return true
+	case OpBicc, OpFBfcc:
+		return i.Cond == CondA
+	}
+	return false
+}
+
+// IsNop reports whether the instruction has no architectural effect.
+func (i Inst) IsNop() bool {
+	if i.Op == OpNop {
+		return true
+	}
+	return i.Op == OpSethi && i.Rd == G0
+}
+
+// Uses appends the registers read by the instruction to dst and returns it.
+// %g0 reads are included (they carry no dependence; consumers filter).
+func (i Inst) Uses(dst []Reg) []Reg {
+	switch i.Op {
+	case OpSethi, OpNop, OpCall:
+		return dst
+	case OpBicc:
+		if i.Cond != CondA && i.Cond != CondN {
+			dst = append(dst, ICC)
+		}
+		return dst
+	case OpFBfcc:
+		if i.Cond != CondA && i.Cond != CondN {
+			dst = append(dst, FCC)
+		}
+		return dst
+	case OpRdy:
+		return append(dst, YReg)
+	case OpWry:
+		dst = append(dst, i.Rs1)
+		if !i.UseImm {
+			dst = append(dst, i.Rs2)
+		}
+		return dst
+	case OpTicc:
+		return dst
+	}
+	cls := i.Op.Class()
+	switch cls {
+	case ClassStore:
+		// Address operands plus the stored value.
+		dst = append(dst, i.Rs1)
+		if !i.UseImm {
+			dst = append(dst, i.Rs2)
+		}
+		dst = append(dst, i.Rd)
+		if i.Op.Doubleword() {
+			dst = append(dst, i.Rd+1)
+		}
+		return dst
+	case ClassLoad:
+		dst = append(dst, i.Rs1)
+		if !i.UseImm {
+			dst = append(dst, i.Rs2)
+		}
+		return dst
+	case ClassFPAdd, ClassFPMul, ClassFPDiv:
+		// Single-source fp ops (fmov/fneg/fabs/fsqrt/conversions) read rs2 only.
+		if !i.fpSingleSrc() {
+			dst = append(dst, i.Rs1)
+			if i.fpDouble() {
+				dst = append(dst, i.Rs1+1)
+			}
+		}
+		dst = append(dst, i.Rs2)
+		if i.fpDouble() {
+			dst = append(dst, i.Rs2+1)
+		}
+		return dst
+	}
+	// Integer ALU / shift / muldiv / jmpl / save / restore.
+	dst = append(dst, i.Rs1)
+	if !i.UseImm {
+		dst = append(dst, i.Rs2)
+	}
+	if i.Op == OpUdiv || i.Op == OpSdiv {
+		dst = append(dst, YReg)
+	}
+	return dst
+}
+
+// Defs appends the registers written by the instruction to dst.
+func (i Inst) Defs(dst []Reg) []Reg {
+	switch i.Op {
+	case OpNop:
+		return dst
+	case OpBicc, OpFBfcc:
+		return dst
+	case OpCall:
+		return append(dst, O7)
+	case OpWry:
+		return append(dst, YReg)
+	case OpRdy:
+		return append(dst, i.Rd)
+	case OpTicc:
+		return dst
+	case OpFcmps, OpFcmpd:
+		return append(dst, FCC)
+	}
+	cls := i.Op.Class()
+	switch cls {
+	case ClassStore:
+		return dst
+	case ClassLoad:
+		dst = append(dst, i.Rd)
+		if i.Op.Doubleword() {
+			dst = append(dst, i.Rd+1)
+		}
+		return dst
+	case ClassFPAdd, ClassFPMul, ClassFPDiv:
+		dst = append(dst, i.Rd)
+		if i.fpDouble() {
+			dst = append(dst, i.Rd+1)
+		}
+		return dst
+	}
+	if i.Rd != G0 {
+		dst = append(dst, i.Rd)
+	}
+	if i.Op.SetsICC() {
+		dst = append(dst, ICC)
+	}
+	if i.Op == OpUmul || i.Op == OpSmul {
+		dst = append(dst, YReg)
+	}
+	return dst
+}
+
+// fpSingleSrc reports whether the fp op reads only rs2.
+func (i Inst) fpSingleSrc() bool {
+	switch i.Op {
+	case OpFmovs, OpFnegs, OpFabss, OpFsqrts, OpFsqrtd,
+		OpFitos, OpFitod, OpFstoi, OpFdtoi, OpFstod, OpFdtos:
+		return true
+	}
+	return false
+}
+
+// fpDouble reports whether the fp op operates on double-precision
+// register pairs.
+func (i Inst) fpDouble() bool {
+	switch i.Op {
+	case OpFaddd, OpFsubd, OpFmuld, OpFdivd, OpFsqrtd, OpFcmpd,
+		OpFitod, OpFstod:
+		return true
+	}
+	return false
+}
+
+// Mnemonic returns the full mnemonic including branch condition suffixes
+// and the annul marker (e.g. "bne,a").
+func (i Inst) Mnemonic() string {
+	switch i.Op {
+	case OpBicc:
+		s := "b" + condNames[i.Cond]
+		if i.Cond == CondN {
+			s = "bn"
+		}
+		if i.Annul {
+			s += ",a"
+		}
+		return s
+	case OpFBfcc:
+		s := "fb" + fcondNames[i.Cond]
+		if i.Annul {
+			s += ",a"
+		}
+		return s
+	}
+	return i.Op.Name()
+}
+
+// String disassembles the instruction into SPARC assembler syntax.
+func (i Inst) String() string {
+	switch i.Op {
+	case OpNop:
+		return "nop"
+	case OpSethi:
+		return fmt.Sprintf("sethi %%hi(0x%x), %s", uint32(i.Imm)<<10, i.Rd)
+	case OpBicc, OpFBfcc:
+		return fmt.Sprintf("%s .%+d", i.Mnemonic(), i.Disp)
+	case OpCall:
+		return fmt.Sprintf("call .%+d", i.Disp)
+	case OpJmpl:
+		return fmt.Sprintf("jmpl %s%s, %s", i.Rs1, immOrReg(i), i.Rd)
+	case OpTicc:
+		return fmt.Sprintf("ta %d", i.Imm)
+	case OpRdy:
+		return fmt.Sprintf("rd %%y, %s", i.Rd)
+	case OpWry:
+		return fmt.Sprintf("wr %s%s, %%y", i.Rs1, immOrReg(i))
+	}
+	cls := i.Op.Class()
+	switch cls {
+	case ClassLoad:
+		return fmt.Sprintf("%s [%s%s], %s", i.Op.Name(), i.Rs1, immOrReg(i), i.Rd)
+	case ClassStore:
+		return fmt.Sprintf("%s %s, [%s%s]", i.Op.Name(), i.Rd, i.Rs1, immOrReg(i))
+	case ClassFPAdd, ClassFPMul, ClassFPDiv:
+		if i.fpSingleSrc() {
+			return fmt.Sprintf("%s %s, %s", i.Op.Name(), i.Rs2, i.Rd)
+		}
+		if i.Op == OpFcmps || i.Op == OpFcmpd {
+			return fmt.Sprintf("%s %s, %s", i.Op.Name(), i.Rs1, i.Rs2)
+		}
+		return fmt.Sprintf("%s %s, %s, %s", i.Op.Name(), i.Rs1, i.Rs2, i.Rd)
+	}
+	if i.UseImm {
+		return fmt.Sprintf("%s %s, %d, %s", i.Op.Name(), i.Rs1, i.Imm, i.Rd)
+	}
+	return fmt.Sprintf("%s %s, %s, %s", i.Op.Name(), i.Rs1, i.Rs2, i.Rd)
+}
+
+func immOrReg(i Inst) string {
+	if i.UseImm {
+		if i.Imm >= 0 {
+			return fmt.Sprintf(" + %d", i.Imm)
+		}
+		return fmt.Sprintf(" - %d", -i.Imm)
+	}
+	// Print the register form explicitly, even %g0, so disassembly
+	// round-trips through the assembler with the same i-bit.
+	return " + " + i.Rs2.String()
+}

@@ -1,0 +1,314 @@
+package sparc
+
+// Op identifies a SPARC V8 instruction mnemonic. The set below is the
+// subset EEL's profiling experiments exercise; it is closed under everything
+// the workload generator, the QPT2 instrumenter, and the examples emit.
+type Op uint8
+
+const (
+	OpInvalid Op = iota
+
+	// Integer ALU (format 3, op=2).
+	OpAdd
+	OpAddcc
+	OpAddx
+	OpSub
+	OpSubcc
+	OpSubx
+	OpAnd
+	OpAndcc
+	OpAndn
+	OpOr
+	OpOrcc
+	OpOrn
+	OpXor
+	OpXorcc
+	OpXnor
+	OpSll
+	OpSrl
+	OpSra
+	OpUmul
+	OpSmul
+	OpUdiv
+	OpSdiv
+	OpRdy
+	OpWry
+	OpSave
+	OpRestore
+	OpJmpl
+	OpTicc // trap on integer condition codes (we use "ta" = trap always)
+
+	// Format 2.
+	OpSethi
+	OpBicc  // integer conditional branch family; condition in Inst.Cond
+	OpFBfcc // floating-point conditional branch family
+
+	// Format 1.
+	OpCall
+
+	// Memory (format 3, op=3).
+	OpLd   // ld   [addr], rd      (32-bit integer load)
+	OpLdub // ldub
+	OpLdsb // ldsb
+	OpLduh // lduh
+	OpLdsh // ldsh
+	OpLdd  // ldd (even/odd integer pair)
+	OpSt   // st
+	OpStb  // stb
+	OpSth  // sth
+	OpStd  // std
+	OpLdf  // ld [addr], %f
+	OpLddf // ldd [addr], %f pair
+	OpStf  // st %f, [addr]
+	OpStdf // std %f pair, [addr]
+	OpSwap // swap [addr], rd
+	OpLdstub
+
+	// Floating point (format 3, op=2, op3=FPop1/FPop2).
+	OpFadds
+	OpFaddd
+	OpFsubs
+	OpFsubd
+	OpFmuls
+	OpFmuld
+	OpFdivs
+	OpFdivd
+	OpFsqrts
+	OpFsqrtd
+	OpFmovs
+	OpFnegs
+	OpFabss
+	OpFitos
+	OpFitod
+	OpFstoi
+	OpFdtoi
+	OpFstod
+	OpFdtos
+	OpFcmps
+	OpFcmpd
+
+	// OpNop is sethi 0, %g0; kept distinct so schedules and listings read
+	// naturally.
+	OpNop
+
+	NumOps = iota
+)
+
+// Cond enumerates Bicc condition codes (SPARC V8 table 5-5).
+type Cond uint8
+
+const (
+	CondN   Cond = 0 // never
+	CondE   Cond = 1 // equal
+	CondLE  Cond = 2
+	CondL   Cond = 3
+	CondLEU Cond = 4
+	CondCS  Cond = 5
+	CondNeg Cond = 6
+	CondVS  Cond = 7
+	CondA   Cond = 8 // always
+	CondNE  Cond = 9
+	CondG   Cond = 10
+	CondGE  Cond = 11
+	CondGU  Cond = 12
+	CondCC  Cond = 13
+	CondPos Cond = 14
+	CondVC  Cond = 15
+)
+
+var condNames = [16]string{
+	"n", "e", "le", "l", "leu", "cs", "neg", "vs",
+	"a", "ne", "g", "ge", "gu", "cc", "pos", "vc",
+}
+
+// FCond names for FBfcc use the same 4-bit space with different meanings;
+// we support the subset the generator emits.
+var fcondNames = [16]string{
+	"n", "ne", "lg", "ul", "l", "ug", "g", "u",
+	"a", "e", "ue", "ge", "uge", "le", "ule", "o",
+}
+
+// Class partitions opcodes by the functional unit family they occupy;
+// the workload generator and the timing models use it.
+type Class uint8
+
+const (
+	ClassALU Class = iota
+	ClassShift
+	ClassMulDiv
+	ClassLoad
+	ClassStore
+	ClassBranch // Bicc, FBfcc
+	ClassCall   // call, jmpl
+	ClassSethi
+	ClassFPAdd // fadd/fsub/fcmp/fmov/fneg/fabs/conversions
+	ClassFPMul
+	ClassFPDiv // fdiv, fsqrt
+	ClassTrap
+	ClassOther
+)
+
+type opInfo struct {
+	name  string
+	class Class
+	// format 3 op3 value (for the encoder); meaning depends on group.
+	op3 uint32
+	// true when the op lives in the op=3 (memory) space.
+	mem bool
+	// opf value for FPop instructions.
+	opf uint32
+	// true for FPop2 (fcmp) rather than FPop1.
+	fpop2 bool
+}
+
+var opTable = [NumOps]opInfo{
+	OpAdd:     {name: "add", class: ClassALU, op3: 0x00},
+	OpAddcc:   {name: "addcc", class: ClassALU, op3: 0x10},
+	OpAddx:    {name: "addx", class: ClassALU, op3: 0x08},
+	OpSub:     {name: "sub", class: ClassALU, op3: 0x04},
+	OpSubcc:   {name: "subcc", class: ClassALU, op3: 0x14},
+	OpSubx:    {name: "subx", class: ClassALU, op3: 0x0c},
+	OpAnd:     {name: "and", class: ClassALU, op3: 0x01},
+	OpAndcc:   {name: "andcc", class: ClassALU, op3: 0x11},
+	OpAndn:    {name: "andn", class: ClassALU, op3: 0x05},
+	OpOr:      {name: "or", class: ClassALU, op3: 0x02},
+	OpOrcc:    {name: "orcc", class: ClassALU, op3: 0x12},
+	OpOrn:     {name: "orn", class: ClassALU, op3: 0x06},
+	OpXor:     {name: "xor", class: ClassALU, op3: 0x03},
+	OpXorcc:   {name: "xorcc", class: ClassALU, op3: 0x13},
+	OpXnor:    {name: "xnor", class: ClassALU, op3: 0x07},
+	OpSll:     {name: "sll", class: ClassShift, op3: 0x25},
+	OpSrl:     {name: "srl", class: ClassShift, op3: 0x26},
+	OpSra:     {name: "sra", class: ClassShift, op3: 0x27},
+	OpUmul:    {name: "umul", class: ClassMulDiv, op3: 0x0a},
+	OpSmul:    {name: "smul", class: ClassMulDiv, op3: 0x0b},
+	OpUdiv:    {name: "udiv", class: ClassMulDiv, op3: 0x0e},
+	OpSdiv:    {name: "sdiv", class: ClassMulDiv, op3: 0x0f},
+	OpRdy:     {name: "rd", class: ClassOther, op3: 0x28},
+	OpWry:     {name: "wr", class: ClassOther, op3: 0x30},
+	OpSave:    {name: "save", class: ClassALU, op3: 0x3c},
+	OpRestore: {name: "restore", class: ClassALU, op3: 0x3d},
+	OpJmpl:    {name: "jmpl", class: ClassCall, op3: 0x38},
+	OpTicc:    {name: "ta", class: ClassTrap, op3: 0x3a},
+
+	OpSethi: {name: "sethi", class: ClassSethi},
+	OpBicc:  {name: "b", class: ClassBranch},
+	OpFBfcc: {name: "fb", class: ClassBranch},
+	OpCall:  {name: "call", class: ClassCall},
+
+	OpLd:     {name: "ld", class: ClassLoad, op3: 0x00, mem: true},
+	OpLdub:   {name: "ldub", class: ClassLoad, op3: 0x01, mem: true},
+	OpLdsb:   {name: "ldsb", class: ClassLoad, op3: 0x09, mem: true},
+	OpLduh:   {name: "lduh", class: ClassLoad, op3: 0x02, mem: true},
+	OpLdsh:   {name: "ldsh", class: ClassLoad, op3: 0x0a, mem: true},
+	OpLdd:    {name: "ldd", class: ClassLoad, op3: 0x03, mem: true},
+	OpSt:     {name: "st", class: ClassStore, op3: 0x04, mem: true},
+	OpStb:    {name: "stb", class: ClassStore, op3: 0x05, mem: true},
+	OpSth:    {name: "sth", class: ClassStore, op3: 0x06, mem: true},
+	OpStd:    {name: "std", class: ClassStore, op3: 0x07, mem: true},
+	OpLdf:    {name: "ldf", class: ClassLoad, op3: 0x20, mem: true},
+	OpLddf:   {name: "lddf", class: ClassLoad, op3: 0x23, mem: true},
+	OpStf:    {name: "stf", class: ClassStore, op3: 0x24, mem: true},
+	OpStdf:   {name: "stdf", class: ClassStore, op3: 0x27, mem: true},
+	OpSwap:   {name: "swap", class: ClassLoad, op3: 0x0f, mem: true},
+	OpLdstub: {name: "ldstub", class: ClassLoad, op3: 0x0d, mem: true},
+
+	OpFadds:  {name: "fadds", class: ClassFPAdd, opf: 0x41},
+	OpFaddd:  {name: "faddd", class: ClassFPAdd, opf: 0x42},
+	OpFsubs:  {name: "fsubs", class: ClassFPAdd, opf: 0x45},
+	OpFsubd:  {name: "fsubd", class: ClassFPAdd, opf: 0x46},
+	OpFmuls:  {name: "fmuls", class: ClassFPMul, opf: 0x49},
+	OpFmuld:  {name: "fmuld", class: ClassFPMul, opf: 0x4a},
+	OpFdivs:  {name: "fdivs", class: ClassFPDiv, opf: 0x4d},
+	OpFdivd:  {name: "fdivd", class: ClassFPDiv, opf: 0x4e},
+	OpFsqrts: {name: "fsqrts", class: ClassFPDiv, opf: 0x29},
+	OpFsqrtd: {name: "fsqrtd", class: ClassFPDiv, opf: 0x2a},
+	OpFmovs:  {name: "fmovs", class: ClassFPAdd, opf: 0x01},
+	OpFnegs:  {name: "fnegs", class: ClassFPAdd, opf: 0x05},
+	OpFabss:  {name: "fabss", class: ClassFPAdd, opf: 0x09},
+	OpFitos:  {name: "fitos", class: ClassFPAdd, opf: 0xc4},
+	OpFitod:  {name: "fitod", class: ClassFPAdd, opf: 0xc8},
+	OpFstoi:  {name: "fstoi", class: ClassFPAdd, opf: 0xd1},
+	OpFdtoi:  {name: "fdtoi", class: ClassFPAdd, opf: 0xd2},
+	OpFstod:  {name: "fstod", class: ClassFPAdd, opf: 0xc9},
+	OpFdtos:  {name: "fdtos", class: ClassFPAdd, opf: 0xc6},
+	OpFcmps:  {name: "fcmps", class: ClassFPAdd, opf: 0x51, fpop2: true},
+	OpFcmpd:  {name: "fcmpd", class: ClassFPAdd, opf: 0x52, fpop2: true},
+
+	OpNop: {name: "nop", class: ClassALU},
+}
+
+// Name returns the base mnemonic ("add", "b", "ld", ...).
+func (o Op) Name() string {
+	if o < NumOps {
+		return opTable[o].name
+	}
+	return "???"
+}
+
+// Class returns the functional-unit class of the opcode.
+func (o Op) Class() Class {
+	if o < NumOps {
+		return opTable[o].class
+	}
+	return ClassOther
+}
+
+// IsLoad reports whether the opcode reads memory.
+func (o Op) IsLoad() bool { return o.Class() == ClassLoad }
+
+// IsStore reports whether the opcode writes memory.
+func (o Op) IsStore() bool { return o.Class() == ClassStore }
+
+// IsFP reports whether the opcode executes in the floating-point pipeline.
+func (o Op) IsFP() bool {
+	switch o.Class() {
+	case ClassFPAdd, ClassFPMul, ClassFPDiv:
+		return true
+	}
+	return o == OpLdf || o == OpLddf || o == OpStf || o == OpStdf
+}
+
+// IsCTI reports whether the opcode is a control-transfer instruction
+// (which on SPARC has an architectural delay slot).
+func (o Op) IsCTI() bool {
+	switch o {
+	case OpBicc, OpFBfcc, OpCall, OpJmpl:
+		return true
+	}
+	return false
+}
+
+// SetsICC reports whether the opcode writes the integer condition codes.
+func (o Op) SetsICC() bool {
+	switch o {
+	case OpAddcc, OpSubcc, OpAndcc, OpOrcc, OpXorcc:
+		return true
+	}
+	return false
+}
+
+// Doubleword reports whether a memory opcode moves a register pair.
+func (o Op) Doubleword() bool {
+	switch o {
+	case OpLdd, OpStd, OpLddf, OpStdf:
+		return true
+	}
+	return false
+}
+
+// opByName maps mnemonics (including condition-suffixed branch forms) to
+// opcodes; built lazily by the assembler.
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, NumOps*2)
+	for op := Op(1); op < NumOps; op++ {
+		if opTable[op].name != "" {
+			m[opTable[op].name] = op
+		}
+	}
+	// Aliases used in listings.
+	m["mov"] = OpOr // mov reg/imm, rd == or %g0, src, rd
+	m["cmp"] = OpSubcc
+	m["ret"] = OpJmpl
+	return m
+}()

@@ -1,0 +1,180 @@
+// Package sparc implements a SPARC V8 instruction-set substrate: typed
+// instruction values, bit-exact binary encoding and decoding, a text
+// assembler, and a disassembler.
+//
+// EEL (Larus & Schnarr, PLDI '95) edits real SPARC binaries; this package
+// plays the role of the hand-written instruction-manipulation layer that the
+// paper's Spawn tool generates from a SADL description. It covers the SPARC
+// V8 subset exercised by the paper's profiling experiments: integer ALU ops,
+// shifts, sethi, loads/stores (integer and floating point), integer and
+// floating-point branches with delay slots, call/jmpl, save/restore,
+// floating-point arithmetic, and traps.
+package sparc
+
+import "fmt"
+
+// Reg identifies an architectural register. Integer registers occupy
+// 0..31 (%g0..%i7), floating-point registers 32..63 (%f0..%f31), and a few
+// pseudo-registers follow for dependence analysis: the integer condition
+// codes, the floating-point condition codes, and the Y register.
+type Reg uint8
+
+const (
+	// Integer registers. %g0 is hardwired to zero.
+	G0 Reg = iota
+	G1
+	G2
+	G3
+	G4
+	G5
+	G6
+	G7
+	O0
+	O1
+	O2
+	O3
+	O4
+	O5
+	SP // %o6, the stack pointer
+	O7 // holds the return address after call
+	L0
+	L1
+	L2
+	L3
+	L4
+	L5
+	L6
+	L7
+	I0
+	I1
+	I2
+	I3
+	I4
+	I5
+	FP // %i6, the frame pointer
+	I7
+)
+
+// Floating-point register file base and pseudo-registers.
+const (
+	// FRegBase is the Reg value of %f0; %f<n> is FRegBase+n.
+	FRegBase Reg = 32
+	F0       Reg = FRegBase
+
+	// ICC is the integer condition-code pseudo-register written by the
+	// cc-setting ALU ops and read by Bicc branches.
+	ICC Reg = 64
+	// FCC is the floating-point condition-code pseudo-register written by
+	// fcmp and read by FBfcc branches.
+	FCC Reg = 65
+	// YReg is the Y register used by multiply/divide.
+	YReg Reg = 66
+
+	// NumRegs is the size of a dense array indexed by Reg.
+	NumRegs = 67
+)
+
+// FReg returns the Reg value for floating-point register %f<n>.
+func FReg(n int) Reg {
+	if n < 0 || n > 31 {
+		panic(fmt.Sprintf("sparc: bad fp register f%d", n))
+	}
+	return FRegBase + Reg(n)
+}
+
+// IsInt reports whether r is one of the 32 integer registers.
+func (r Reg) IsInt() bool { return r < 32 }
+
+// IsFloat reports whether r is one of the 32 floating-point registers.
+func (r Reg) IsFloat() bool { return r >= FRegBase && r < FRegBase+32 }
+
+// FNum returns the floating-point register number for a float register.
+func (r Reg) FNum() int {
+	if !r.IsFloat() {
+		panic("sparc: FNum on non-float register")
+	}
+	return int(r - FRegBase)
+}
+
+var intRegNames = [32]string{
+	"%g0", "%g1", "%g2", "%g3", "%g4", "%g5", "%g6", "%g7",
+	"%o0", "%o1", "%o2", "%o3", "%o4", "%o5", "%sp", "%o7",
+	"%l0", "%l1", "%l2", "%l3", "%l4", "%l5", "%l6", "%l7",
+	"%i0", "%i1", "%i2", "%i3", "%i4", "%i5", "%fp", "%i7",
+}
+
+// String returns the assembler name of the register (e.g. "%o3", "%f12").
+func (r Reg) String() string {
+	switch {
+	case r < 32:
+		return intRegNames[r]
+	case r.IsFloat():
+		return fmt.Sprintf("%%f%d", r.FNum())
+	case r == ICC:
+		return "%icc"
+	case r == FCC:
+		return "%fcc"
+	case r == YReg:
+		return "%y"
+	}
+	return fmt.Sprintf("%%r?%d", uint8(r))
+}
+
+// ParseReg parses an assembler register name. It accepts the canonical
+// names produced by Reg.String plus the aliases %o6 and %i6.
+func ParseReg(s string) (Reg, error) {
+	if len(s) < 2 || s[0] != '%' {
+		return 0, fmt.Errorf("sparc: bad register %q", s)
+	}
+	body := s[1:]
+	switch body {
+	case "sp", "o6":
+		return SP, nil
+	case "fp", "i6":
+		return FP, nil
+	case "icc":
+		return ICC, nil
+	case "fcc":
+		return FCC, nil
+	case "y":
+		return YReg, nil
+	}
+	if len(body) < 2 {
+		return 0, fmt.Errorf("sparc: bad register %q", s)
+	}
+	n := 0
+	for _, c := range body[1:] {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("sparc: bad register %q", s)
+		}
+		n = n*10 + int(c-'0')
+	}
+	switch body[0] {
+	case 'g':
+		if n > 7 {
+			return 0, fmt.Errorf("sparc: bad register %q", s)
+		}
+		return G0 + Reg(n), nil
+	case 'o':
+		if n > 7 {
+			return 0, fmt.Errorf("sparc: bad register %q", s)
+		}
+		return O0 + Reg(n), nil
+	case 'l':
+		if n > 7 {
+			return 0, fmt.Errorf("sparc: bad register %q", s)
+		}
+		return L0 + Reg(n), nil
+	case 'i':
+		if n > 7 {
+			return 0, fmt.Errorf("sparc: bad register %q", s)
+		}
+		return I0 + Reg(n), nil
+	case 'f':
+		if n > 31 {
+			return 0, fmt.Errorf("sparc: bad register %q", s)
+		}
+		return FReg(n), nil
+	}
+	return 0, fmt.Errorf("sparc: bad register %q", s)
+}

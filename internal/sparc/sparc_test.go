@@ -1,0 +1,587 @@
+package sparc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegString(t *testing.T) {
+	cases := []struct {
+		r    Reg
+		want string
+	}{
+		{G0, "%g0"}, {G7, "%g7"}, {O0, "%o0"}, {SP, "%sp"}, {O7, "%o7"},
+		{L3, "%l3"}, {I0, "%i0"}, {FP, "%fp"}, {I7, "%i7"},
+		{FReg(0), "%f0"}, {FReg(31), "%f31"},
+		{ICC, "%icc"}, {FCC, "%fcc"}, {YReg, "%y"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("Reg(%d).String() = %q, want %q", c.r, got, c.want)
+		}
+	}
+}
+
+func TestParseRegRoundTrip(t *testing.T) {
+	for r := Reg(0); r < NumRegs; r++ {
+		if r >= 32 && !r.IsFloat() && r != ICC && r != FCC && r != YReg {
+			continue
+		}
+		got, err := ParseReg(r.String())
+		if err != nil {
+			t.Fatalf("ParseReg(%q): %v", r.String(), err)
+		}
+		if got != r {
+			t.Errorf("ParseReg(%q) = %d, want %d", r.String(), got, r)
+		}
+	}
+}
+
+func TestParseRegAliases(t *testing.T) {
+	if r, err := ParseReg("%o6"); err != nil || r != SP {
+		t.Errorf("ParseReg(%%o6) = %v, %v; want %%sp", r, err)
+	}
+	if r, err := ParseReg("%i6"); err != nil || r != FP {
+		t.Errorf("ParseReg(%%i6) = %v, %v; want %%fp", r, err)
+	}
+	for _, bad := range []string{"", "%", "%x3", "%g9", "%f32", "g1", "%o", "%l99"} {
+		if _, err := ParseReg(bad); err == nil {
+			t.Errorf("ParseReg(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+// canonicalInsts is a corpus covering every opcode in a valid canonical form.
+func canonicalInsts() []Inst {
+	var out []Inst
+	out = append(out,
+		NewALU(OpAdd, G1, G2, G3),
+		NewALUImm(OpAdd, G1, G2, -4096),
+		NewALUImm(OpAdd, G1, G2, 4095),
+		NewALU(OpAddcc, O0, O1, O2),
+		NewALU(OpAddx, O0, O1, O2),
+		NewALU(OpSub, L0, L1, L2),
+		NewALUImm(OpSubcc, G0, G1, 17),
+		NewALU(OpSubx, I0, I1, I2),
+		NewALU(OpAnd, G1, G2, G3),
+		NewALU(OpAndcc, G1, G2, G3),
+		NewALU(OpAndn, G1, G2, G3),
+		NewALU(OpOr, G1, G2, G3),
+		NewALU(OpOrcc, G1, G2, G3),
+		NewALU(OpOrn, G1, G2, G3),
+		NewALU(OpXor, G1, G2, G3),
+		NewALU(OpXorcc, G1, G2, G3),
+		NewALU(OpXnor, G1, G2, G3),
+		NewALUImm(OpSll, G1, G2, 3),
+		NewALUImm(OpSrl, G1, G2, 31),
+		NewALUImm(OpSra, G1, G2, 1),
+		NewALU(OpUmul, G1, G2, G3),
+		NewALU(OpSmul, G1, G2, G3),
+		NewALU(OpUdiv, G1, G2, G3),
+		NewALU(OpSdiv, G1, G2, G3),
+		Inst{Op: OpRdy, Rd: G1},
+		Inst{Op: OpWry, Rs1: G1, Rs2: G0},
+		NewALUImm(OpSave, SP, SP, -96),
+		NewALUImm(OpRestore, G0, G0, 0),
+		NewJmpl(G0, O7, 8),
+		NewTrap(0),
+		NewSethi(G1, 0x12345),
+		NewBranch(CondNE, -12),
+		NewBranch(CondA, 100),
+		Inst{Op: OpBicc, Cond: CondLE, Annul: true, Disp: 4},
+		NewFBranch(CondE, 8),
+		NewCall(1024),
+		NewCall(-1024),
+		NewLoad(OpLd, G1, G2, 8),
+		NewLoadIdx(OpLd, G1, G2, G3),
+		NewLoad(OpLdub, G1, G2, 0),
+		NewLoad(OpLdsb, G1, G2, 1),
+		NewLoad(OpLduh, G1, G2, 2),
+		NewLoad(OpLdsh, G1, G2, -2),
+		NewLoad(OpLdd, G2, G4, 16),
+		NewStore(OpSt, G1, G2, 4),
+		NewStore(OpStb, G1, G2, 0),
+		NewStore(OpSth, G1, G2, 2),
+		NewStore(OpStd, G2, G4, 8),
+		NewLoad(OpLdf, FReg(1), G2, 4),
+		NewLoad(OpLddf, FReg(2), G2, 8),
+		NewStore(OpStf, FReg(1), G2, 4),
+		NewStore(OpStdf, FReg(2), G2, 8),
+		NewLoadIdx(OpSwap, G1, G2, G3),
+		NewLoadIdx(OpLdstub, G1, G2, G3),
+		NewALU(OpFadds, FReg(0), FReg(1), FReg(2)),
+		NewALU(OpFaddd, FReg(0), FReg(2), FReg(4)),
+		NewALU(OpFsubs, FReg(0), FReg(1), FReg(2)),
+		NewALU(OpFsubd, FReg(0), FReg(2), FReg(4)),
+		NewALU(OpFmuls, FReg(0), FReg(1), FReg(2)),
+		NewALU(OpFmuld, FReg(0), FReg(2), FReg(4)),
+		NewALU(OpFdivs, FReg(0), FReg(1), FReg(2)),
+		NewALU(OpFdivd, FReg(0), FReg(2), FReg(4)),
+		Inst{Op: OpFsqrts, Rs2: FReg(3), Rd: FReg(5)},
+		Inst{Op: OpFsqrtd, Rs2: FReg(4), Rd: FReg(6)},
+		Inst{Op: OpFmovs, Rs2: FReg(3), Rd: FReg(5)},
+		Inst{Op: OpFnegs, Rs2: FReg(3), Rd: FReg(5)},
+		Inst{Op: OpFabss, Rs2: FReg(3), Rd: FReg(5)},
+		Inst{Op: OpFitos, Rs2: FReg(3), Rd: FReg(5)},
+		Inst{Op: OpFitod, Rs2: FReg(3), Rd: FReg(6)},
+		Inst{Op: OpFstoi, Rs2: FReg(3), Rd: FReg(5)},
+		Inst{Op: OpFdtoi, Rs2: FReg(4), Rd: FReg(5)},
+		Inst{Op: OpFstod, Rs2: FReg(3), Rd: FReg(6)},
+		Inst{Op: OpFdtos, Rs2: FReg(4), Rd: FReg(5)},
+		Inst{Op: OpFcmps, Rs1: FReg(1), Rs2: FReg(2), Rd: FRegBase},
+		Inst{Op: OpFcmpd, Rs1: FReg(2), Rs2: FReg(4), Rd: FRegBase},
+		NewNop(),
+	)
+	return out
+}
+
+func TestEncodeDecodeRoundTripCorpus(t *testing.T) {
+	for _, inst := range canonicalInsts() {
+		w, err := Encode(inst)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", inst, err)
+		}
+		got, err := Decode(w)
+		if err != nil {
+			t.Fatalf("Decode(%#08x) [%v]: %v", w, inst, err)
+		}
+		want := canonicalize(inst)
+		if got != want {
+			t.Errorf("round trip %v: got %v (word %#08x)", want, got, w)
+		}
+	}
+}
+
+// canonicalize clears the fields the encoding does not carry.
+func canonicalize(i Inst) Inst {
+	i.Instrumented = false
+	switch i.Op {
+	case OpFcmps, OpFcmpd:
+		i.Rd = FRegBase // fcmp has no destination; decode leaves f0-relative zero
+		i.Rd = 0
+	}
+	if i.Op == OpTicc {
+		i.Rd = 0
+	}
+	return i
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	bad := []uint32{
+		0x00000000,                  // unimp
+		2<<30 | 0x3f<<19,            // undefined op3
+		3<<30 | 0x3f<<19,            // undefined memory op3
+		2<<30 | 0x34<<19 | 0x1ff<<5, // undefined opf
+	}
+	for _, w := range bad {
+		if _, err := Decode(w); err == nil {
+			t.Errorf("Decode(%#08x) succeeded, want error", w)
+		}
+	}
+}
+
+func TestEncodeRangeChecks(t *testing.T) {
+	if _, err := Encode(NewALUImm(OpAdd, G1, G2, 4096)); err == nil {
+		t.Error("simm13 overflow not rejected")
+	}
+	if _, err := Encode(NewALUImm(OpAdd, G1, G2, -4097)); err == nil {
+		t.Error("simm13 underflow not rejected")
+	}
+	if _, err := Encode(NewSethi(G1, 1<<22)); err == nil {
+		t.Error("imm22 overflow not rejected")
+	}
+	if _, err := Encode(NewBranch(CondE, 1<<21)); err == nil {
+		t.Error("disp22 overflow not rejected")
+	}
+	if _, err := Encode(NewALU(OpFadds, G1, FReg(0), FReg(1))); err == nil {
+		t.Error("integer destination on fp op not rejected")
+	}
+	if _, err := Encode(NewALU(OpAdd, G1, FReg(0), G2)); err == nil {
+		t.Error("fp rs1 on integer op not rejected")
+	}
+}
+
+// randomInst builds a random valid instruction from the generator's shape.
+func randomInst(r *rand.Rand) Inst {
+	corpus := canonicalInsts()
+	inst := corpus[r.Intn(len(corpus))]
+	// Perturb register fields within their class.
+	perturb := func(reg Reg) Reg {
+		if reg.IsFloat() {
+			return FReg(r.Intn(32))
+		}
+		return Reg(r.Intn(32))
+	}
+	switch inst.Op {
+	case OpSethi:
+		inst.Imm = int32(r.Uint32() & 0x3fffff)
+		inst.Rd = Reg(r.Intn(32))
+		if inst.Rd == G0 && inst.Imm == 0 {
+			inst.Imm = 1
+		}
+	case OpBicc, OpFBfcc:
+		inst.Disp = int32(r.Intn(1<<22)) - 1<<21
+		inst.Annul = r.Intn(2) == 0
+	case OpCall:
+		inst.Disp = int32(r.Intn(1<<30)) - 1<<29
+	case OpNop, OpTicc, OpRdy, OpWry:
+		// leave as-is
+	default:
+		if inst.Op.Class() == ClassFPAdd || inst.Op.Class() == ClassFPMul || inst.Op.Class() == ClassFPDiv {
+			if inst.Op == OpFcmps || inst.Op == OpFcmpd {
+				inst.Rs1, inst.Rs2 = FReg(r.Intn(32)), FReg(r.Intn(32))
+			} else if inst.fpSingleSrc() {
+				inst.Rs2, inst.Rd = FReg(r.Intn(32)), FReg(r.Intn(32))
+			} else {
+				inst.Rs1, inst.Rs2, inst.Rd = FReg(r.Intn(32)), FReg(r.Intn(32)), FReg(r.Intn(32))
+			}
+		} else {
+			if inst.Op == OpLdf || inst.Op == OpLddf || inst.Op == OpStf || inst.Op == OpStdf {
+				inst.Rd = FReg(r.Intn(32))
+			} else {
+				inst.Rd = perturb(inst.Rd)
+			}
+			inst.Rs1 = Reg(r.Intn(32))
+			if inst.UseImm {
+				inst.Imm = int32(r.Intn(1<<13)) - 1<<12
+			} else {
+				inst.Rs2 = Reg(r.Intn(32))
+			}
+		}
+	}
+	return inst
+}
+
+// TestEncodeDecodeRoundTripProperty: Decode(Encode(i)) == i for random
+// valid instructions.
+func TestEncodeDecodeRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func() bool {
+		inst := randomInst(r)
+		w, err := Encode(inst)
+		if err != nil {
+			t.Logf("Encode(%v): %v", inst, err)
+			return false
+		}
+		got, err := Decode(w)
+		if err != nil {
+			t.Logf("Decode(%#08x): %v", w, err)
+			return false
+		}
+		if got != canonicalize(inst) {
+			t.Logf("round trip: want %v got %v", canonicalize(inst), got)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 2000}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecodeEncodeRoundTripProperty: for random words that decode
+// successfully, Encode(Decode(w)) reproduces the word except for don't-care
+// bits (asi field, unused rd on fcmp/ticc).
+func TestDecodeEncodeRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	decoded, reencoded := 0, 0
+	for n := 0; n < 20000; n++ {
+		w := r.Uint32()
+		inst, err := Decode(w)
+		if err != nil {
+			continue
+		}
+		decoded++
+		w2, err := Encode(inst)
+		if err != nil {
+			// Words with don't-care bits set (e.g. asi != 0) may not
+			// re-encode identically; they must still re-decode equal.
+			continue
+		}
+		reencoded++
+		inst2, err := Decode(w2)
+		if err != nil {
+			t.Fatalf("re-decode of %#08x (from %#08x): %v", w2, w, err)
+		}
+		if inst2 != inst {
+			t.Fatalf("decode/encode/decode unstable: %#08x -> %v -> %#08x -> %v",
+				w, inst, w2, inst2)
+		}
+	}
+	if decoded == 0 || reencoded == 0 {
+		t.Fatalf("property test exercised nothing (decoded=%d reencoded=%d)", decoded, reencoded)
+	}
+}
+
+func TestUsesDefs(t *testing.T) {
+	cases := []struct {
+		inst Inst
+		uses []Reg
+		defs []Reg
+	}{
+		{NewALU(OpAdd, G1, G2, G3), []Reg{G2, G3}, []Reg{G1}},
+		{NewALUImm(OpAdd, G1, G2, 4), []Reg{G2}, []Reg{G1}},
+		{NewALUImm(OpAdd, G0, G2, 4), []Reg{G2}, nil},
+		{NewALU(OpSubcc, G0, G1, G2), []Reg{G1, G2}, []Reg{ICC}},
+		{NewALU(OpAddcc, G3, G1, G2), []Reg{G1, G2}, []Reg{G3, ICC}},
+		{NewSethi(G1, 10), nil, []Reg{G1}},
+		{NewNop(), nil, nil},
+		{NewBranch(CondNE, 4), []Reg{ICC}, nil},
+		{NewBranch(CondA, 4), nil, nil},
+		{NewFBranch(CondE, 4), []Reg{FCC}, nil},
+		{NewCall(8), nil, []Reg{O7}},
+		{NewJmpl(G0, O7, 8), []Reg{O7}, nil},
+		{NewLoad(OpLd, G1, G2, 0), []Reg{G2}, []Reg{G1}},
+		{NewLoadIdx(OpLd, G1, G2, G3), []Reg{G2, G3}, []Reg{G1}},
+		{NewLoad(OpLdd, G2, G4, 0), []Reg{G4}, []Reg{G2, G3}},
+		{NewStore(OpSt, G1, G2, 0), []Reg{G2, G1}, nil},
+		{NewStore(OpStd, G2, G4, 0), []Reg{G4, G2, G3}, nil},
+		{NewALU(OpFadds, FReg(0), FReg(1), FReg(2)), []Reg{FReg(1), FReg(2)}, []Reg{FReg(0)}},
+		{NewALU(OpFaddd, FReg(0), FReg(2), FReg(4)),
+			[]Reg{FReg(2), FReg(3), FReg(4), FReg(5)}, []Reg{FReg(0), FReg(1)}},
+		{Inst{Op: OpFcmps, Rs1: FReg(1), Rs2: FReg(2)}, []Reg{FReg(1), FReg(2)}, []Reg{FCC}},
+		{Inst{Op: OpFmovs, Rs2: FReg(3), Rd: FReg(5)}, []Reg{FReg(3)}, []Reg{FReg(5)}},
+		{NewALU(OpUmul, G1, G2, G3), []Reg{G2, G3}, []Reg{G1, YReg}},
+		{NewALU(OpSdiv, G1, G2, G3), []Reg{G2, G3, YReg}, []Reg{G1}},
+		{Inst{Op: OpRdy, Rd: G1}, []Reg{YReg}, []Reg{G1}},
+		{Inst{Op: OpWry, Rs1: G1}, []Reg{G1, G0}, []Reg{YReg}},
+		{NewTrap(0), nil, nil},
+	}
+	for _, c := range cases {
+		uses := c.inst.Uses(nil)
+		defs := c.inst.Defs(nil)
+		if !regSetEq(uses, c.uses) {
+			t.Errorf("%v Uses = %v, want %v", c.inst, uses, c.uses)
+		}
+		if !regSetEq(defs, c.defs) {
+			t.Errorf("%v Defs = %v, want %v", c.inst, defs, c.defs)
+		}
+	}
+}
+
+func regSetEq(a, b []Reg) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAssemblerBasics(t *testing.T) {
+	src := `
+	! a tiny counting loop
+	mov 0, %g1
+	set 10, %g2
+loop:
+	add %g1, 1, %g1
+	cmp %g1, %g2
+	bne loop
+	nop
+	ta 0
+`
+	insts, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"or %g0, 0, %g1",
+		"or %g0, 10, %g2",
+		"add %g1, 1, %g1",
+		"subcc %g1, %g2, %g0",
+		"bne .-2",
+		"nop",
+		"ta 0",
+	}
+	if len(insts) != len(want) {
+		t.Fatalf("got %d instructions, want %d", len(insts), len(want))
+	}
+	for i, w := range want {
+		if insts[i].String() != w {
+			t.Errorf("inst %d = %q, want %q", i, insts[i].String(), w)
+		}
+	}
+}
+
+func TestAssemblerMemoryAndFP(t *testing.T) {
+	src := `
+	sethi %hi(0x40000000), %o0
+	ld [%o0 + 4], %g1
+	ld [%o0 + %g1], %g2
+	st %g2, [%o0 - 8]
+	ld [%o0], %f0
+	ldd [%o0 + 8], %f2
+	faddd %f2, %f4, %f6
+	fmuls %f0, %f1, %f2
+	fcmpd %f2, %f4
+	fble out
+	std %f6, [%o0 + 16]
+out:
+	retl
+	nop
+`
+	insts, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if insts[4].Op != OpLdf {
+		t.Errorf("fp load not rewritten: %v", insts[4])
+	}
+	if insts[5].Op != OpLddf {
+		t.Errorf("fp ldd not rewritten: %v", insts[5])
+	}
+	if insts[10].Op != OpStdf {
+		t.Errorf("fp std not rewritten: %v", insts[10])
+	}
+	if insts[9].Op != OpFBfcc || insts[9].Disp != 2 {
+		t.Errorf("fble mis-assembled: %v", insts[9])
+	}
+	// Everything must encode.
+	for i, inst := range insts {
+		if _, err := Encode(inst); err != nil {
+			t.Errorf("inst %d (%v) does not encode: %v", i, inst, err)
+		}
+	}
+}
+
+func TestAssemblerErrors(t *testing.T) {
+	bad := []string{
+		"frobnicate %g1, %g2, %g3",
+		"add %g1, %g2",
+		"bne nowhere\nnop",
+		"ld %g1, %g2",
+		"mov %q1, %g2",
+		"set zzz, %g1",
+	}
+	for _, src := range bad {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestAssemblerSetPseudo(t *testing.T) {
+	insts, err := Assemble("set 0x12345678, %g1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 2 || insts[0].Op != OpSethi || insts[1].Op != OpOr {
+		t.Fatalf("set expanded to %v", insts)
+	}
+	// sethi imm22 is value>>10; or supplies low 10 bits.
+	if got := uint32(insts[0].Imm)<<10 | uint32(insts[1].Imm); got != 0x12345678 {
+		t.Errorf("set reconstructs %#x, want 0x12345678", got)
+	}
+	small, err := Assemble("set 100, %g1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(small) != 1 || small[0].Op != OpOr {
+		t.Fatalf("small set expanded to %v", small)
+	}
+}
+
+func TestDisassemblyGolden(t *testing.T) {
+	cases := []struct {
+		inst Inst
+		want string
+	}{
+		{NewALU(OpAdd, G1, G2, G3), "add %g2, %g3, %g1"},
+		{NewALUImm(OpSub, O0, O1, -12), "sub %o1, -12, %o0"},
+		{NewLoad(OpLd, G1, SP, 64), "ld [%sp + 64], %g1"},
+		{NewStore(OpSt, G1, SP, -4), "st %g1, [%sp - 4]"},
+		{NewLoadIdx(OpLd, G1, G2, G3), "ld [%g2 + %g3], %g1"},
+		{NewSethi(G1, 0x48d15), "sethi %hi(0x12345400), %g1"},
+		{NewBranch(CondNE, -3), "bne .-3"},
+		{Inst{Op: OpBicc, Cond: CondA, Annul: true, Disp: 2}, "ba,a .+2"},
+		{NewCall(100), "call .+100"},
+		{NewJmpl(G0, O7, 8), "jmpl %o7 + 8, %g0"},
+		{NewTrap(0), "ta 0"},
+		{NewNop(), "nop"},
+		{NewALU(OpFmuld, FReg(0), FReg(2), FReg(4)), "fmuld %f2, %f4, %f0"},
+		{Inst{Op: OpFmovs, Rs2: FReg(1), Rd: FReg(3)}, "fmovs %f1, %f3"},
+		{Inst{Op: OpFcmps, Rs1: FReg(1), Rs2: FReg(2)}, "fcmps %f1, %f2"},
+	}
+	for _, c := range cases {
+		if got := c.inst.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestDecodeAll(t *testing.T) {
+	insts := []Inst{NewALU(OpAdd, G1, G2, G3), NewNop(), NewTrap(0)}
+	words := make([]uint32, len(insts))
+	for i, inst := range insts {
+		words[i] = MustEncode(inst)
+	}
+	got, err := DecodeAll(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range insts {
+		if got[i] != canonicalize(insts[i]) {
+			t.Errorf("inst %d: got %v want %v", i, got[i], insts[i])
+		}
+	}
+	if _, err := DecodeAll([]uint32{0}); err == nil {
+		t.Error("DecodeAll accepted unimp word")
+	}
+}
+
+func TestOpPredicates(t *testing.T) {
+	if !OpLd.IsLoad() || OpLd.IsStore() {
+		t.Error("OpLd predicates wrong")
+	}
+	if !OpSt.IsStore() || OpSt.IsLoad() {
+		t.Error("OpSt predicates wrong")
+	}
+	for _, op := range []Op{OpBicc, OpFBfcc, OpCall, OpJmpl} {
+		if !op.IsCTI() {
+			t.Errorf("%v should be CTI", op.Name())
+		}
+	}
+	if OpAdd.IsCTI() {
+		t.Error("add is not a CTI")
+	}
+	if !OpFaddd.IsFP() || !OpLdf.IsFP() || OpLd.IsFP() {
+		t.Error("IsFP predicates wrong")
+	}
+	for _, op := range []Op{OpAddcc, OpSubcc, OpAndcc, OpOrcc, OpXorcc} {
+		if !op.SetsICC() {
+			t.Errorf("%v should set icc", op.Name())
+		}
+	}
+	if OpAdd.SetsICC() {
+		t.Error("add does not set icc")
+	}
+	if !OpLdd.Doubleword() || OpLd.Doubleword() {
+		t.Error("Doubleword predicates wrong")
+	}
+}
+
+func TestIsUncondAndNop(t *testing.T) {
+	if !NewBranch(CondA, 1).IsUncond() {
+		t.Error("ba should be unconditional")
+	}
+	if NewBranch(CondNE, 1).IsUncond() {
+		t.Error("bne is conditional")
+	}
+	if !NewCall(1).IsUncond() || !NewJmpl(G0, O7, 8).IsUncond() {
+		t.Error("call/jmpl are unconditional")
+	}
+	if !NewNop().IsNop() {
+		t.Error("nop is a nop")
+	}
+	if !(Inst{Op: OpSethi, Rd: G0, Imm: 5, UseImm: true}).IsNop() {
+		t.Error("sethi to g0 is a nop")
+	}
+	if (Inst{Op: OpSethi, Rd: G1, Imm: 5, UseImm: true}).IsNop() {
+		t.Error("sethi to g1 is not a nop")
+	}
+}

@@ -1,0 +1,168 @@
+package spawn
+
+import (
+	"fmt"
+	"go/format"
+	"strings"
+
+	"eel/internal/sparc"
+)
+
+// Generate expands the pipeline_stalls template for a machine model,
+// producing a self-contained Go source file — the analogue of Spawn
+// replacing {{...}} annotations in an annotated C++ file (Figure 1,
+// Appendix A). The pkg argument names the generated package.
+func Generate(m *Model, pkg string) (string, error) {
+	tmpl, err := embedded.ReadFile("templates/pipeline_stalls.go.spawn")
+	if err != nil {
+		return "", fmt.Errorf("spawn: missing template: %w", err)
+	}
+	src := string(tmpl)
+	repl := map[string]string{
+		"{{MACHINE}}":      string(m.Machine),
+		"{{PACKAGE}}":      pkg,
+		"{{UNITS COUNT}}":  fmt.Sprint(len(m.Units)),
+		"{{GROUPS COUNT}}": fmt.Sprint(len(m.Groups)),
+		"{{ISSUE UNIT}}":   fmt.Sprint(m.GroupUnit),
+		"{{ISSUE WIDTH}}":  fmt.Sprint(m.IssueWidth),
+		"{{REGS COUNT}}":   fmt.Sprint(sparc.NumRegs),
+		"{{UNIT TABLE}}":   unitTable(m),
+		"{{GROUP TABLE}}":  groupTable(m),
+		"{{OP TABLE}}":     opTable(m),
+	}
+	for k, v := range repl {
+		src = strings.ReplaceAll(src, k, v)
+	}
+	// Annotations are spelled in capitals; table literals also contain
+	// "{{" so only flag an upper-case letter right after the braces.
+	for i := strings.Index(src, "{{"); i >= 0; i = strings.Index(src[i+2:], "{{") + i + 2 {
+		if i+2 < len(src) && src[i+2] >= 'A' && src[i+2] <= 'Z' {
+			end := i + 40
+			if end > len(src) {
+				end = len(src)
+			}
+			return "", fmt.Errorf("spawn: unexpanded annotation near %q", src[i:end])
+		}
+		if strings.Index(src[i+2:], "{{") < 0 {
+			break
+		}
+	}
+	formatted, err := format.Source([]byte(src))
+	if err != nil {
+		return "", fmt.Errorf("spawn: generated code does not parse: %w", err)
+	}
+	return string(formatted), nil
+}
+
+func unitTable(m *Model) string {
+	var b strings.Builder
+	b.WriteString("// UnitNames and UnitCounts index the declared pipeline resources.\n")
+	b.WriteString("var UnitNames = [NumUnits]string{")
+	for i, u := range m.Units {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%q", u.Name)
+	}
+	b.WriteString("}\n\n")
+	b.WriteString("var UnitCounts = [NumUnits]int{")
+	for i, u := range m.Units {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d", u.Count)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func groupTable(m *Model) string {
+	var b strings.Builder
+	b.WriteString("// GroupCycles[g] is the pipeline occupancy of timing group g.\n")
+	b.WriteString("var GroupCycles = [NumGroups]int{")
+	for i, g := range m.Groups {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d", g.Cycles)
+	}
+	b.WriteString("}\n\n")
+
+	writeEvents := func(name, doc string, sel func(*Group) [][]Event) {
+		fmt.Fprintf(&b, "// %s\n", doc)
+		fmt.Fprintf(&b, "var %s = [NumGroups][][]UnitUse{\n", name)
+		for _, g := range m.Groups {
+			b.WriteString("\t{")
+			for c, evs := range sel(g) {
+				if c > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString("{")
+				for j, e := range evs {
+					if j > 0 {
+						b.WriteString(", ")
+					}
+					fmt.Fprintf(&b, "{%d, %d}", e.Unit, e.Num)
+				}
+				b.WriteString("}")
+			}
+			b.WriteString("},\n")
+		}
+		b.WriteString("}\n\n")
+	}
+	writeEvents("GroupAcquire", "GroupAcquire[g][c] lists unit acquisitions in relative cycle c.",
+		func(g *Group) [][]Event { return g.Acquire })
+	writeEvents("GroupRelease", "GroupRelease[g][c] lists unit releases in relative cycle c.",
+		func(g *Group) [][]Event { return g.Release })
+
+	writeAccesses := func(name, doc string, sel func(*Group) []FieldAccess) {
+		fmt.Fprintf(&b, "// %s\n", doc)
+		fmt.Fprintf(&b, "var %s = [NumGroups][]FieldTime{\n", name)
+		for _, g := range m.Groups {
+			b.WriteString("\t{")
+			for j, a := range sel(g) {
+				if j > 0 {
+					b.WriteString(", ")
+				}
+				fmt.Fprintf(&b, "{%q, %q, %d, %d}", a.File, a.Field, a.Index, a.Cycle)
+			}
+			b.WriteString("},\n")
+		}
+		b.WriteString("}\n\n")
+	}
+	writeAccesses("GroupReads", "GroupReads[g] lists register reads with their cycle.",
+		func(g *Group) []FieldAccess { return g.Reads })
+	writeAccesses("GroupWrites", "GroupWrites[g] lists register writes with their first-available cycle.",
+		func(g *Group) []FieldAccess { return g.Writes })
+
+	b.WriteString("// GroupMarkers[g] carries the description's classification markers.\n")
+	b.WriteString("var GroupMarkers = [NumGroups][]string{\n")
+	for _, g := range m.Groups {
+		b.WriteString("\t{")
+		for j, mk := range g.Markers {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%q", mk)
+		}
+		b.WriteString("},\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func opTable(m *Model) string {
+	var b strings.Builder
+	b.WriteString("// OpGroups maps \"mnemonic/variant\" (r = register, i = immediate)\n")
+	b.WriteString("// to the instruction's timing group.\n")
+	b.WriteString("var OpGroups = map[string]int{\n")
+	for op := sparc.Op(1); op < sparc.NumOps; op++ {
+		for v, suffix := range []string{"r", "i"} {
+			if id := m.byOp[op][v]; id >= 0 {
+				fmt.Fprintf(&b, "\t%q: %d,\n", op.Name()+"/"+suffix, id)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,282 @@
+// Package spawn plays the role of the paper's Spawn tool (Figure 1): it
+// analyzes a SADL microarchitecture description, groups instructions with
+// identical timing and resource-allocation patterns, and produces the
+// tables that drive the pipeline_stalls computation — either as an
+// in-memory Model consumed by package pipe, or as generated Go source
+// (see Generate) mirroring Spawn's annotated-C++ expansion.
+package spawn
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+	"sync"
+
+	"eel/internal/sadl"
+	"eel/internal/sparc"
+)
+
+//go:embed descriptions/*.sadl templates/*.spawn
+var embedded embed.FS
+
+// Machine names a shipped microarchitecture description.
+type Machine string
+
+const (
+	HyperSPARC Machine = "hypersparc"
+	SuperSPARC Machine = "supersparc"
+	UltraSPARC Machine = "ultrasparc"
+)
+
+// Machines lists the shipped descriptions.
+func Machines() []Machine { return []Machine{HyperSPARC, SuperSPARC, UltraSPARC} }
+
+// Unit is a microarchitectural resource with its multiplicity.
+type Unit struct {
+	Name  string
+	Count int
+}
+
+// Event is an acquisition or release of Num copies of unit index Unit.
+type Event struct {
+	Unit int
+	Num  int
+}
+
+// FieldAccess describes a register access: which encoding field (or fixed
+// Index when Field is empty) of which register file, and in which cycle
+// (for reads) or from which cycle the value is available (for writes).
+type FieldAccess struct {
+	File  string
+	Field string
+	Index int
+	Cycle int
+}
+
+// Group is a timing group: instructions with identical timing and resource
+// allocation patterns share one (the paper's space optimization, which the
+// generated pipeline_stalls indexes by group id).
+type Group struct {
+	ID     int
+	Key    string
+	Cycles int
+	// Acquire[c] and Release[c] list unit events in relative cycle c.
+	// The slices extend one past Cycles so trailing releases are applied.
+	Acquire [][]Event
+	Release [][]Event
+	Reads   []FieldAccess
+	Writes  []FieldAccess
+	// MemReads/MemWrites are the relative cycles of memory accesses.
+	MemReads  []int
+	MemWrites []int
+	Markers   []string
+	// Ops lists the (opcode, immediate-variant) pairs in this group.
+	Ops []OpVariant
+}
+
+// OpVariant identifies one instruction form.
+type OpVariant struct {
+	Op     sparc.Op
+	UseImm bool
+}
+
+// HasMarker reports whether the group's description carried a marker.
+func (g *Group) HasMarker(name string) bool {
+	for _, m := range g.Markers {
+		if m == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Model is the analyzed machine description.
+type Model struct {
+	Machine    Machine
+	IssueWidth int // copies of the Group unit
+	GroupUnit  int // index of the issue-slot unit
+	Units      []Unit
+	Groups     []*Group
+
+	unitIndex map[string]int
+	byOp      [sparc.NumOps][2]int16 // group id per (op, reg/imm); -1 if none
+}
+
+// UnitIndex returns the index of a named unit, or -1.
+func (m *Model) UnitIndex(name string) int {
+	if i, ok := m.unitIndex[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// GroupFor returns the timing group of an instruction form.
+func (m *Model) GroupFor(op sparc.Op, useImm bool) (*Group, error) {
+	v := 0
+	if useImm {
+		v = 1
+	}
+	id := m.byOp[op][v]
+	if id < 0 {
+		return nil, fmt.Errorf("spawn: %s has no %s timing group for %s",
+			m.Machine, variantName(useImm), op.Name())
+	}
+	return m.Groups[id], nil
+}
+
+// GroupOf is GroupFor for a decoded instruction.
+func (m *Model) GroupOf(inst sparc.Inst) (*Group, error) {
+	return m.GroupFor(inst.Op, inst.UseImm)
+}
+
+func variantName(useImm bool) string {
+	if useImm {
+		return "immediate"
+	}
+	return "register"
+}
+
+var modelCache sync.Map // Machine -> *Model
+
+// Load parses and analyzes a shipped machine description. Models are
+// cached; the returned Model must not be mutated.
+func Load(machine Machine) (*Model, error) {
+	if m, ok := modelCache.Load(machine); ok {
+		return m.(*Model), nil
+	}
+	src, err := embedded.ReadFile("descriptions/" + string(machine) + ".sadl")
+	if err != nil {
+		return nil, fmt.Errorf("spawn: unknown machine %q: %w", machine, err)
+	}
+	m, err := Analyze(machine, string(src))
+	if err != nil {
+		return nil, err
+	}
+	modelCache.Store(machine, m)
+	return m, nil
+}
+
+// MustLoad is Load or panic; for tests and examples.
+func MustLoad(machine Machine) *Model {
+	m, err := Load(machine)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Analyze builds a Model from SADL source. Every sparc opcode whose
+// mnemonic has a sem declaration gets a timing group per encoding variant
+// (register and immediate forms of the same instruction usually differ:
+// the immediate form reads one fewer port).
+func Analyze(machine Machine, src string) (*Model, error) {
+	file, err := sadl.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	ev, err := sadl.NewEvaluator(file)
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{
+		Machine:   machine,
+		unitIndex: make(map[string]int),
+	}
+	for _, u := range file.Units {
+		m.unitIndex[u.Name] = len(m.Units)
+		m.Units = append(m.Units, Unit{Name: u.Name, Count: u.Count})
+	}
+	gi, ok := m.unitIndex["Group"]
+	if !ok {
+		return nil, fmt.Errorf("spawn: %s: description must declare the issue unit %q", machine, "Group")
+	}
+	m.GroupUnit = gi
+	m.IssueWidth = m.Units[gi].Count
+
+	for op := range m.byOp {
+		m.byOp[op][0], m.byOp[op][1] = -1, -1
+	}
+	byKey := make(map[string]*Group)
+	missing := []string{}
+	for op := sparc.Op(1); op < sparc.NumOps; op++ {
+		name := op.Name()
+		if !ev.HasSem(name) {
+			missing = append(missing, name)
+			continue
+		}
+		for v, iflag := range []int{0, 1} {
+			rec, err := ev.Timing(name, map[string]int{"iflag": iflag})
+			if err != nil {
+				return nil, fmt.Errorf("spawn: %s: %w", machine, err)
+			}
+			key := rec.Key()
+			g, ok := byKey[key]
+			if !ok {
+				g, err = newGroup(m, len(m.Groups), rec)
+				if err != nil {
+					return nil, fmt.Errorf("spawn: %s: instruction %s: %w", machine, name, err)
+				}
+				byKey[key] = g
+				m.Groups = append(m.Groups, g)
+			}
+			g.Ops = append(g.Ops, OpVariant{Op: op, UseImm: v == 1})
+			m.byOp[op][v] = int16(g.ID)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return nil, fmt.Errorf("spawn: %s: description lacks semantics for: %v", machine, missing)
+	}
+	return m, nil
+}
+
+// newGroup converts a sadl.Record into the dense table form pipeline_stalls
+// indexes.
+func newGroup(m *Model, id int, rec *sadl.Record) (*Group, error) {
+	span := rec.Cycles + 1
+	for c := range rec.Acquire {
+		if c+1 > span {
+			span = c + 1
+		}
+	}
+	for c := range rec.Release {
+		if c+1 > span {
+			span = c + 1
+		}
+	}
+	g := &Group{
+		ID:      id,
+		Key:     rec.Key(),
+		Cycles:  rec.Cycles,
+		Acquire: make([][]Event, span),
+		Release: make([][]Event, span),
+	}
+	conv := func(dst [][]Event, src map[int][]sadl.UnitEvent) error {
+		for c, evs := range src {
+			for _, e := range evs {
+				ui, ok := m.unitIndex[e.Unit]
+				if !ok {
+					return fmt.Errorf("undeclared unit %q", e.Unit)
+				}
+				dst[c] = append(dst[c], Event{Unit: ui, Num: e.Num})
+			}
+		}
+		return nil
+	}
+	if err := conv(g.Acquire, rec.Acquire); err != nil {
+		return nil, err
+	}
+	if err := conv(g.Release, rec.Release); err != nil {
+		return nil, err
+	}
+	for _, r := range rec.Reads {
+		g.Reads = append(g.Reads, FieldAccess{File: r.File, Field: r.Field, Index: r.Index, Cycle: r.Cycle})
+	}
+	for _, w := range rec.Writes {
+		g.Writes = append(g.Writes, FieldAccess{File: w.File, Field: w.Field, Index: w.Index, Cycle: w.Avail})
+	}
+	g.MemReads = append(g.MemReads, rec.MemReads...)
+	g.MemWrites = append(g.MemWrites, rec.MemWrites...)
+	g.Markers = append(g.Markers, rec.Markers...)
+	return g, nil
+}

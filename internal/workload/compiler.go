@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"eel/internal/core"
+	"eel/internal/sim"
+	"eel/internal/sparc"
+	"eel/internal/spawn"
+)
+
+// compilerScheduler stands in for the Sun compilers' "-fast -xO4"
+// instruction scheduler: where EEL runs one greedy list-scheduling pass
+// against its SADL model, the compiler tries several schedules — both
+// priority functions of the greedy scheduler plus the original order —
+// evaluates each against the *hardware* model (grouping rules included),
+// and keeps the fastest. EEL's later rescheduling pass, blind to the
+// hardware rules and armed with a single heuristic, partially undoes this
+// work: the paper's Table 1 de-scheduling effect.
+type compilerScheduler struct {
+	model      *spawn.Model
+	rules      sim.Rules
+	candidates []*core.Scheduler
+}
+
+func newCompilerScheduler(model *spawn.Model, rules sim.Rules) *compilerScheduler {
+	mk := func(opts core.Options) *core.Scheduler {
+		return core.NewWith(sim.NewHWPipeline(model, rules), model, opts)
+	}
+	return &compilerScheduler{
+		model: model,
+		rules: rules,
+		candidates: []*core.Scheduler{
+			mk(core.Options{}),
+			mk(core.Options{ChainFirst: true}),
+		},
+	}
+}
+
+// ScheduleBlock returns the best candidate schedule by measured cycles on
+// the hardware model; the original order competes too.
+func (c *compilerScheduler) ScheduleBlock(block []sparc.Inst) ([]sparc.Inst, error) {
+	best := block
+	bestCost, err := c.cost(block)
+	if err != nil {
+		return nil, err
+	}
+	for _, sched := range c.candidates {
+		cand, err := sched.ScheduleBlock(block)
+		if err != nil {
+			return nil, err
+		}
+		cost, err := c.cost(cand)
+		if err != nil {
+			return nil, err
+		}
+		// Prefer shorter blocks on ties (dropped delay-slot nops).
+		if cost < bestCost || (cost == bestCost && len(cand) < len(best)) {
+			best, bestCost = cand, cost
+		}
+	}
+	return best, nil
+}
+
+// cost measures a block on a fresh hardware pipeline: the issue cycle of
+// the last instruction.
+func (c *compilerScheduler) cost(block []sparc.Inst) (int64, error) {
+	p := sim.NewHWPipeline(c.model, c.rules)
+	var last int64
+	for _, inst := range block {
+		_, t, err := p.Issue(inst)
+		if err != nil {
+			return 0, err
+		}
+		last = t
+	}
+	return last, nil
+}

@@ -1,0 +1,132 @@
+// Package workload generates synthetic SPEC95-like benchmark executables.
+//
+// The paper evaluates on the SPEC95 binaries compiled by the Sun compilers;
+// those binaries (and SPARC hardware to run them) are unavailable, so this
+// package builds the closest synthetic equivalent: for each of the 18
+// benchmarks, a SPARC V8 program calibrated to the benchmark's *dynamic
+// average basic-block size* from the paper's tables and to its integer vs.
+// floating-point character — the two properties the paper's analysis
+// says drive the results ("the integer programs execute many small basic
+// blocks ... so there is little opportunity to schedule added
+// instrumentation"). Generated code is pre-scheduled against the hardware
+// model (grouping rules included), standing in for the Sun compilers'
+// "-fast -xO4" optimization, which is what makes EEL's simpler model
+// de-schedule FP code in Table 1.
+package workload
+
+import "eel/internal/spawn"
+
+// Benchmark describes one synthetic SPEC95 stand-in.
+type Benchmark struct {
+	Name string
+	FP   bool
+	// AvgBlockSize is the target dynamic average basic-block size in
+	// instructions (the paper's "Avg. BB Size" column).
+	AvgBlockSize float64
+	// Kernels is the number of distinct leaf procedures, controlling the
+	// static text size (and so instruction-cache pressure).
+	Kernels int
+	// Inner is the iteration count of each kernel's inner loop per call.
+	Inner int
+}
+
+// ultraSizes and superSizes are the paper's per-benchmark dynamic block
+// sizes (Tables 1/2 vs Table 3 — the two compilations differ slightly).
+var ultraSizes = map[string]float64{
+	"099.go": 2.9, "124.m88ksim": 2.2, "126.gcc": 2.2, "129.compress": 3.0,
+	"130.li": 2.0, "132.ijpeg": 6.2, "134.perl": 2.4, "147.vortex": 2.1,
+	"101.tomcatv": 13.8, "102.swim": 49.0, "103.su2cor": 10.2,
+	"104.hydro2d": 4.7, "107.mgrid": 32.4, "110.applu": 12.5,
+	"125.turb3d": 6.1, "141.apsi": 10.4, "145.fpppp": 33.9, "146.wave5": 10.9,
+}
+
+var superSizes = map[string]float64{
+	"099.go": 2.8, "124.m88ksim": 2.3, "126.gcc": 2.2, "129.compress": 3.0,
+	"130.li": 2.0, "132.ijpeg": 6.4, "134.perl": 2.3, "147.vortex": 2.1,
+	"101.tomcatv": 11.4, "102.swim": 66.1, "103.su2cor": 10.1,
+	"104.hydro2d": 4.4, "107.mgrid": 46.9, "110.applu": 9.3,
+	"125.turb3d": 5.7, "141.apsi": 11.8, "145.fpppp": 28.2, "146.wave5": 13.3,
+}
+
+// kernel/static-size character per benchmark: large codes (gcc, go,
+// vortex, perl) get many kernels so instrumentation-driven text growth
+// produces instruction-cache pressure; small kernels (compress, the dense
+// FP loops) stay cache-resident.
+var shape = map[string]struct {
+	kernels int
+	inner   int
+}{
+	"099.go":       {28, 40},
+	"124.m88ksim":  {14, 60},
+	"126.gcc":      {40, 30},
+	"129.compress": {6, 120},
+	"130.li":       {12, 70},
+	"132.ijpeg":    {8, 100},
+	"134.perl":     {24, 40},
+	"147.vortex":   {36, 30},
+	"101.tomcatv":  {6, 80},
+	"102.swim":     {4, 60},
+	"103.su2cor":   {6, 80},
+	"104.hydro2d":  {8, 90},
+	"107.mgrid":    {4, 70},
+	"110.applu":    {6, 80},
+	"125.turb3d":   {8, 90},
+	"141.apsi":     {8, 80},
+	"145.fpppp":    {4, 60},
+	"146.wave5":    {6, 80},
+}
+
+// intNames and fpNames list the suites in the paper's table order.
+var intNames = []string{
+	"099.go", "124.m88ksim", "126.gcc", "129.compress",
+	"130.li", "132.ijpeg", "134.perl", "147.vortex",
+}
+
+var fpNames = []string{
+	"101.tomcatv", "102.swim", "103.su2cor", "104.hydro2d", "107.mgrid",
+	"110.applu", "125.turb3d", "141.apsi", "145.fpppp", "146.wave5",
+}
+
+// IntSuite returns the CINT95 stand-ins for a machine's compilation.
+func IntSuite(machine spawn.Machine) []Benchmark {
+	return suite(intNames, false, machine)
+}
+
+// FPSuite returns the CFP95 stand-ins.
+func FPSuite(machine spawn.Machine) []Benchmark {
+	return suite(fpNames, true, machine)
+}
+
+// Suite returns all 18 benchmarks in table order.
+func Suite(machine spawn.Machine) []Benchmark {
+	return append(IntSuite(machine), FPSuite(machine)...)
+}
+
+func suite(names []string, fp bool, machine spawn.Machine) []Benchmark {
+	sizes := ultraSizes
+	if machine == spawn.SuperSPARC {
+		sizes = superSizes
+	}
+	out := make([]Benchmark, 0, len(names))
+	for _, n := range names {
+		sh := shape[n]
+		out = append(out, Benchmark{
+			Name:         n,
+			FP:           fp,
+			AvgBlockSize: sizes[n],
+			Kernels:      sh.kernels,
+			Inner:        sh.inner,
+		})
+	}
+	return out
+}
+
+// ByName returns one benchmark's descriptor.
+func ByName(name string, machine spawn.Machine) (Benchmark, bool) {
+	for _, b := range Suite(machine) {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
