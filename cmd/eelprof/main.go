@@ -5,6 +5,7 @@
 //	eelprof -noschedule -o prog.prof prog.exe              # instrument only
 //	eelprof -reschedule -o prog.sched prog.exe             # reschedule only
 //	eelprof -run prog.exe                                  # run and report
+//	eelprof -workers 8 -o prog.prof prog.exe               # 8 scheduling workers
 //
 // With -run the tool executes the (possibly instrumented) program on the
 // functional simulator with the machine's hardware timing model and prints
@@ -27,13 +28,23 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "eelprof:", err)
+		os.Exit(1)
+	}
+}
+
+// run isolates every error path so main can turn each one into a
+// non-zero exit code (CI depends on that).
+func run() error {
 	var (
 		machine    = flag.String("machine", "ultrasparc", "scheduling/timing model")
 		out        = flag.String("o", "", "output executable path")
 		noSchedule = flag.Bool("noschedule", false, "insert instrumentation without scheduling")
 		reschedule = flag.Bool("reschedule", false, "reschedule only; no instrumentation")
-		run        = flag.Bool("run", false, "execute the result and report")
+		doRun      = flag.Bool("run", false, "execute the result and report")
 		maxSteps   = flag.Uint64("maxsteps", 1<<30, "execution step limit with -run")
+		workers    = flag.Int("workers", 0, "scheduling worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -43,56 +54,57 @@ func main() {
 
 	model, err := spawn.Load(spawn.Machine(*machine))
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	x, err := exe.ReadFile(flag.Arg(0))
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	ed, err := eel.Open(x)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	var prof *qpt.SlowProfiler
 	result := x
 	switch {
 	case *reschedule:
-		result, err = ed.Reschedule(model, core.Options{})
+		result, err = ed.Reschedule(model, core.Options{Workers: *workers})
 	default:
 		prof = &qpt.SlowProfiler{}
 		opts := eel.Options{}
 		if !*noSchedule {
 			opts.Machine = model
 			opts.Schedule = true
+			opts.Sched.Workers = *workers
 		}
 		result, err = ed.Edit(prof, opts)
 	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	if *out != "" {
 		if err := result.WriteFile(*out); err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Fprintf(os.Stderr, "eelprof: wrote %s (%d -> %d instructions)\n",
 			*out, len(x.Text), len(result.Text))
 	}
 
-	if !*run {
-		return
+	if !*doRun {
+		return nil
 	}
 	in, tm, res, err := sim.RunMeasured(result, model, sim.DefaultTiming(spawn.Machine(*machine)), *maxSteps)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Printf("halted=%v instructions=%d cycles=%d seconds=%.6f icache-miss=%.4f\n",
 		res.Halted, tm.Instructions(), tm.Cycles(), tm.Seconds(), tm.ICache().MissRate())
 	if prof != nil {
 		counts, err := prof.Counts(in.Mem().Read32)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		type bc struct {
 			block int
@@ -111,9 +123,8 @@ func main() {
 			fmt.Printf("  block %4d: %12d executions\n", h.block, h.n)
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "eelprof:", err)
-	os.Exit(1)
+	if !res.Halted {
+		return fmt.Errorf("run did not halt within %d steps", *maxSteps)
+	}
+	return nil
 }

@@ -7,7 +7,8 @@
 //	tables -table 1 -benchmarks 130.li,102.swim   (subset)
 //
 // -insts scales each benchmark's dynamic length (default 600k); larger
-// runs are slower but less noisy.
+// runs are slower but less noisy. -workers sizes the scheduling worker
+// pool (0 = GOMAXPROCS); it changes wall-clock time only, never a table.
 package main
 
 import (
@@ -18,9 +19,19 @@ import (
 
 	"eel/internal/bench"
 	"eel/internal/spawn"
+	"eel/internal/workload"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+}
+
+// run isolates every error path so main can turn each one into a
+// non-zero exit code (CI depends on that).
+func run() error {
 	var (
 		table      = flag.Int("table", 0, "table to regenerate (1, 2 or 3)")
 		summary    = flag.Bool("summary", false, "print the per-suite averages for all three tables")
@@ -28,12 +39,18 @@ func main() {
 		seed       = flag.Int64("seed", 0, "workload generation seed")
 		benchmarks = flag.String("benchmarks", "", "comma-separated benchmark subset")
 		validate   = flag.Bool("validate", false, "cross-check profile counts between runs")
+		workers    = flag.Int("workers", 0, "scheduling worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
 	subset := []string(nil)
 	if *benchmarks != "" {
 		subset = strings.Split(*benchmarks, ",")
+		for _, name := range subset {
+			if _, ok := workload.ByName(name, spawn.UltraSPARC); !ok {
+				return fmt.Errorf("unknown benchmark %q", name)
+			}
+		}
 	}
 	mk := func(machine spawn.Machine, resched bool) bench.TableConfig {
 		return bench.TableConfig{
@@ -43,6 +60,7 @@ func main() {
 			Seed:               *seed,
 			Benchmarks:         subset,
 			ValidateCounts:     *validate,
+			Workers:            *workers,
 		}
 	}
 	configs := map[int]bench.TableConfig{
@@ -55,8 +73,7 @@ func main() {
 		for _, n := range []int{1, 2, 3} {
 			t, err := bench.RunTable(configs[n])
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return err
 			}
 			ii, is, ih, _ := t.Averages(false)
 			fi, fs, fh, _ := t.Averages(true)
@@ -64,7 +81,7 @@ func main() {
 			fmt.Printf("  CINT95: inst %.2fx  sched %.2fx  hidden %.1f%%\n", ii, is, ih)
 			fmt.Printf("  CFP95:  inst %.2fx  sched %.2fx  hidden %.1f%%\n", fi, fs, fh)
 		}
-		return
+		return nil
 	}
 
 	cfg, ok := configs[*table]
@@ -74,10 +91,10 @@ func main() {
 	}
 	t, err := bench.RunTable(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 	fmt.Printf("Table %d: %s", *table, t.String())
+	return nil
 }
 
 func rescheduleNote(c bench.TableConfig) string {

@@ -36,6 +36,10 @@ type TableConfig struct {
 	ValidateCounts bool
 	// Benchmarks restricts the run to the named subset (nil = all 18).
 	Benchmarks []string
+	// Workers bounds the scheduling worker pool (see core.Options.Workers;
+	// 0 = GOMAXPROCS). Scheduling output is byte-identical for any value,
+	// so tables never depend on it — only wall-clock time does.
+	Workers int
 }
 
 func (c TableConfig) withDefaults() TableConfig {
@@ -44,6 +48,9 @@ func (c TableConfig) withDefaults() TableConfig {
 	}
 	if c.DynamicInsts == 0 {
 		c.DynamicInsts = 600_000
+	}
+	if c.Workers != 0 && c.Sched.Workers == 0 {
+		c.Sched.Workers = c.Workers
 	}
 	return c
 }

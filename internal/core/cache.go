@@ -1,0 +1,157 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"eel/internal/sparc"
+	"eel/internal/spawn"
+)
+
+// Cache memoizes per-block scheduling results across Edit passes. The
+// key is (machine model, scheduler options, instruction-sequence hash);
+// a stored copy of the input sequence is compared on lookup, so a hash
+// collision degrades to a miss instead of a wrong schedule. One Cache
+// may be shared by schedulers for different machines and options — the
+// seed keeps their entries apart — and by concurrent ScheduleBlocks
+// workers.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[uint64]cacheEntry
+
+	hits, misses atomic.Uint64
+}
+
+type cacheEntry struct {
+	block []sparc.Inst // private copy of the input, for collision checks
+	out   []sparc.Inst // private copy of the schedule
+}
+
+// DefaultCacheCapacity bounds a NewCache(0) cache. Hot executables
+// repeat far fewer distinct blocks than this.
+const DefaultCacheCapacity = 4096
+
+// NewCache returns a scheduling-result cache holding at most capacity
+// blocks (0 selects DefaultCacheCapacity).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	return &Cache{cap: capacity, entries: make(map[uint64]cacheEntry)}
+}
+
+// Stats returns the number of lookups served from the cache and the
+// number that missed.
+func (c *Cache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Len returns the number of cached blocks.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+func (c *Cache) get(seed uint64, block []sparc.Inst) ([]sparc.Inst, bool) {
+	k := blockHash(seed, block)
+	c.mu.Lock()
+	e, ok := c.entries[k]
+	c.mu.Unlock()
+	if !ok || !blocksEqual(e.block, block) {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	// Entries are immutable once stored; hand the caller its own copy so
+	// later in-place edits cannot corrupt the cache.
+	return append([]sparc.Inst(nil), e.out...), true
+}
+
+func (c *Cache) put(seed uint64, block, out []sparc.Inst) {
+	e := cacheEntry{
+		block: append([]sparc.Inst(nil), block...),
+		out:   append([]sparc.Inst(nil), out...),
+	}
+	k := blockHash(seed, block)
+	c.mu.Lock()
+	if len(c.entries) >= c.cap {
+		// Evict an arbitrary entry; output never depends on cache content.
+		for victim := range c.entries {
+			delete(c.entries, victim)
+			break
+		}
+	}
+	c.entries[k] = e
+	c.mu.Unlock()
+}
+
+func blocksEqual(a, b []sparc.Inst) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// cacheSeed folds the machine name and the options that change schedules
+// into a key prefix. The result is never 0 (0 marks an uncacheable
+// scheduler).
+func cacheSeed(model *spawn.Model, opts Options) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(model.Machine); i++ {
+		h ^= uint64(model.Machine[i])
+		h *= fnvPrime
+	}
+	var bits uint64 = 1
+	if opts.ConservativeMem {
+		bits |= 2
+	}
+	if opts.ChainFirst {
+		bits |= 4
+	}
+	h ^= bits
+	h *= fnvPrime
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// blockHash is FNV-1a over every field of every instruction.
+func blockHash(seed uint64, block []sparc.Inst) uint64 {
+	h := seed
+	mix := func(v uint64) {
+		h ^= v
+		h *= fnvPrime
+	}
+	for _, in := range block {
+		mix(uint64(in.Op))
+		mix(uint64(in.Rd) | uint64(in.Rs1)<<8 | uint64(in.Rs2)<<16 | uint64(in.Cond)<<24)
+		mix(uint64(uint32(in.Imm)))
+		mix(uint64(uint32(in.Disp)))
+		var flags uint64
+		if in.UseImm {
+			flags |= 1
+		}
+		if in.Annul {
+			flags |= 2
+		}
+		if in.Instrumented {
+			flags |= 4
+		}
+		mix(flags)
+	}
+	mix(uint64(len(block)))
+	return h
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"eel/internal/sparc"
+)
+
+// ScheduleBlocks schedules a batch of basic blocks and returns them in
+// the same order. The paper's scheduler keeps no state across block
+// boundaries (the oracle is Reset per block), so blocks are independent
+// and the batch fans out over Options.Workers goroutines, each drawing a
+// private stall oracle from the scheduler's pool. The output is
+// byte-identical to scheduling the blocks one by one with ScheduleBlock,
+// for any worker count.
+//
+// Schedulers built with NewWith hold a single, unreplicable oracle and
+// fall back to the sequential path. On error, the failure from the
+// lowest-indexed failing block is reported.
+func (s *Scheduler) ScheduleBlocks(blocks [][]sparc.Inst) ([][]sparc.Inst, error) {
+	if s.opts.NoReorder {
+		return blocks, nil
+	}
+	out := make([][]sparc.Inst, len(blocks))
+	workers := s.opts.workers()
+	if workers > len(blocks) {
+		workers = len(blocks)
+	}
+	if s.factory == nil || workers <= 1 {
+		for i, b := range blocks {
+			sb, err := s.scheduleBlockOn(s.state, b)
+			if err != nil {
+				return nil, fmt.Errorf("core: block %d: %w", i, err)
+			}
+			out[i] = sb
+		}
+		return out, nil
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		firstIdx = len(blocks)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := s.pool.Get().(Pipeline)
+			defer s.pool.Put(p)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(blocks) {
+					return
+				}
+				sb, err := s.scheduleBlockOn(p, blocks[i])
+				if err != nil {
+					// Keep draining so the reported error is the
+					// deterministic lowest-indexed failure.
+					mu.Lock()
+					if i < firstIdx {
+						firstIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					continue
+				}
+				out[i] = sb
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, fmt.Errorf("core: block %d: %w", firstIdx, firstErr)
+	}
+	return out, nil
+}

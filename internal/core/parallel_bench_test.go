@@ -1,0 +1,48 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"eel/internal/spawn"
+)
+
+// BenchmarkScheduleBlocks compares the sequential path with the worker
+// pool on a multi-block workload. On a multi-core machine the parallel
+// variants show near-linear speedup (blocks are independent); on a
+// single-core runner they match the sequential path to within pool
+// overhead. The CI benchmark-smoke job records both.
+func BenchmarkScheduleBlocks(b *testing.B) {
+	model := spawn.MustLoad(spawn.UltraSPARC)
+	blocks := randomBlocks(rand.New(rand.NewSource(1)), 2000)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			s := New(model, Options{Workers: workers})
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.ScheduleBlocks(blocks); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScheduleBlocksCached measures the hot-block cache: the same
+// executable edited repeatedly reschedules nothing.
+func BenchmarkScheduleBlocksCached(b *testing.B) {
+	model := spawn.MustLoad(spawn.UltraSPARC)
+	blocks := randomBlocks(rand.New(rand.NewSource(1)), 2000)
+	s := New(model, Options{Workers: 1, Cache: NewCache(8192)})
+	if _, err := s.ScheduleBlocks(blocks); err != nil { // warm
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ScheduleBlocks(blocks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

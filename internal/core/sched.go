@@ -27,6 +27,8 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"eel/internal/pipe"
 	"eel/internal/sparc"
@@ -45,6 +47,30 @@ type Options struct {
 	// NoReorder disables scheduling entirely; blocks pass through
 	// unchanged (the unscheduled instrumentation baseline).
 	NoReorder bool
+	// Workers bounds the worker pool used by ScheduleBlocks. 0 means
+	// runtime.GOMAXPROCS(0); negative forces the sequential path. The
+	// output is byte-identical regardless of the worker count: blocks
+	// carry no cross-block pipeline state (every block starts from a
+	// Reset oracle), so scheduling is embarrassingly parallel.
+	Workers int
+	// Cache, when non-nil, memoizes per-block scheduling results keyed
+	// by (machine model, options, instruction-sequence hash) so repeated
+	// editing of hot blocks skips rescheduling. Only schedulers built
+	// with New consult it: a custom stall oracle (NewWith,
+	// NewWithFactory) is not part of the key, so its results must not be
+	// shared through a cache.
+	Cache *Cache
+}
+
+// workers resolves the effective worker count.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	if o.Workers < 0 {
+		return 1
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Pipeline is the stall oracle driving list scheduling. pipe.State — the
@@ -58,22 +84,48 @@ type Pipeline interface {
 }
 
 // Scheduler schedules basic blocks for one machine model.
+//
+// ScheduleBlock drives a single pipeline state and is not safe for
+// concurrent use; ScheduleBlocks fans blocks out over a worker pool in
+// which every worker draws a private stall oracle from a sync.Pool, and
+// is safe to call from multiple goroutines when the scheduler was built
+// with New or NewWithFactory.
 type Scheduler struct {
-	model *spawn.Model
-	state Pipeline
-	opts  Options
+	model   *spawn.Model
+	state   Pipeline        // sequential-path oracle
+	factory func() Pipeline // nil: oracle cannot be replicated for workers
+	pool    sync.Pool       // of Pipeline, fed by factory
+	opts    Options
+	cacheID uint64 // cache key seed; 0 when results are uncacheable
 }
 
 // New returns a scheduler driven by the machine's SADL pipeline model —
 // the paper's configuration.
 func New(model *spawn.Model, opts Options) *Scheduler {
-	return &Scheduler{model: model, state: pipe.NewState(model), opts: opts}
+	factory := func() Pipeline { return pipe.NewState(model) }
+	s := &Scheduler{model: model, state: factory(), factory: factory, opts: opts}
+	s.pool.New = func() any { return factory() }
+	// Only the default oracle is cacheable: the model name plus the
+	// options that change schedules fully determine the output.
+	s.cacheID = cacheSeed(model, opts)
+	return s
 }
 
 // NewWith returns a scheduler driven by a custom stall oracle (e.g. a
-// hardware model with grouping rules the SADL description omits).
+// hardware model with grouping rules the SADL description omits). The
+// oracle cannot be replicated, so ScheduleBlocks degrades to the
+// sequential path; use NewWithFactory to keep the parallel path.
 func NewWith(p Pipeline, model *spawn.Model, opts Options) *Scheduler {
 	return &Scheduler{model: model, state: p, opts: opts}
+}
+
+// NewWithFactory returns a scheduler whose stall oracles come from
+// factory, one per worker goroutine, so ScheduleBlocks can run blocks
+// concurrently against custom pipelines (e.g. sim.HWPipeline).
+func NewWithFactory(factory func() Pipeline, model *spawn.Model, opts Options) *Scheduler {
+	s := &Scheduler{model: model, state: factory(), factory: factory, opts: opts}
+	s.pool.New = func() any { return factory() }
+	return s
 }
 
 // Model returns the scheduler's machine model.
@@ -102,10 +154,30 @@ type edge struct {
 // Blocks ending in an annulled branch are returned unchanged (their delay
 // slot executes conditionally, pinning it).
 func (s *Scheduler) ScheduleBlock(block []sparc.Inst) ([]sparc.Inst, error) {
+	return s.scheduleBlockOn(s.state, block)
+}
+
+// scheduleBlockOn is ScheduleBlock against an explicit stall oracle, so
+// worker goroutines can schedule with private pipeline states.
+func (s *Scheduler) scheduleBlockOn(p Pipeline, block []sparc.Inst) ([]sparc.Inst, error) {
 	if s.opts.NoReorder || len(block) == 0 {
 		return block, nil
 	}
+	if c := s.opts.Cache; c != nil && s.cacheID != 0 {
+		if out, ok := c.get(s.cacheID, block); ok {
+			return out, nil
+		}
+		out, err := s.scheduleBlockUncached(p, block)
+		if err != nil {
+			return nil, err
+		}
+		c.put(s.cacheID, block, out)
+		return out, nil
+	}
+	return s.scheduleBlockUncached(p, block)
+}
 
+func (s *Scheduler) scheduleBlockUncached(p Pipeline, block []sparc.Inst) ([]sparc.Inst, error) {
 	body := block
 	var cti sparc.Inst
 	hasCTI := false
@@ -124,7 +196,7 @@ func (s *Scheduler) ScheduleBlock(block []sparc.Inst) ([]sparc.Inst, error) {
 		return nil, fmt.Errorf("core: block ends with a CTI but no delay slot")
 	}
 
-	scheduled, err := s.scheduleStraightLine(body)
+	scheduled, err := s.scheduleStraightLine(p, body)
 	if err != nil {
 		return nil, err
 	}
@@ -178,8 +250,8 @@ func delaySlotLegal(cti, cand sparc.Inst) bool {
 }
 
 // scheduleStraightLine runs the two-pass list scheduler over straight-line
-// code.
-func (s *Scheduler) scheduleStraightLine(body []sparc.Inst) ([]sparc.Inst, error) {
+// code against the stall oracle p.
+func (s *Scheduler) scheduleStraightLine(p Pipeline, body []sparc.Inst) ([]sparc.Inst, error) {
 	if len(body) <= 1 {
 		return body, nil
 	}
@@ -200,7 +272,7 @@ func (s *Scheduler) scheduleStraightLine(body []sparc.Inst) ([]sparc.Inst, error
 	}
 
 	// Pass 2: forward list scheduling.
-	s.state.Reset()
+	p.Reset()
 	ready := make([]*node, 0, len(nodes))
 	for _, n := range nodes {
 		if n.npred == 0 {
@@ -213,7 +285,7 @@ func (s *Scheduler) scheduleStraightLine(body []sparc.Inst) ([]sparc.Inst, error
 		bestStalls := 0
 		var best *node
 		for i, n := range ready {
-			st, err := s.state.Stalls(n.inst)
+			st, err := p.Stalls(n.inst)
 			if err != nil {
 				return nil, err
 			}
@@ -221,7 +293,7 @@ func (s *Scheduler) scheduleStraightLine(body []sparc.Inst) ([]sparc.Inst, error
 				best, bestIdx, bestStalls = n, i, st
 			}
 		}
-		if _, _, err := s.state.Issue(best.inst); err != nil {
+		if _, _, err := p.Issue(best.inst); err != nil {
 			return nil, err
 		}
 		out = append(out, best.inst)

@@ -16,6 +16,7 @@ import (
 	"eel/internal/cfg"
 	"eel/internal/core"
 	"eel/internal/exe"
+	"eel/internal/pipe"
 	"eel/internal/sparc"
 	"eel/internal/spawn"
 )
@@ -25,6 +26,9 @@ type Editor struct {
 	exe   *exe.Exe
 	insts []sparc.Inst
 	graph *cfg.Graph
+	// cache memoizes per-block schedules across this editor's Edit
+	// passes, so repeated editing of hot blocks skips rescheduling.
+	cache *core.Cache
 }
 
 // Open decodes an executable's text segment and builds its control-flow
@@ -41,7 +45,7 @@ func Open(x *exe.Exe) (*Editor, error) {
 	if err != nil {
 		return nil, fmt.Errorf("eel: %w", err)
 	}
-	return &Editor{exe: x, insts: insts, graph: graph}, nil
+	return &Editor{exe: x, insts: insts, graph: graph, cache: core.NewCache(0)}, nil
 }
 
 // Exe returns the opened executable.
@@ -68,6 +72,15 @@ type Instrumenter interface {
 // play the role of the vendor compiler.
 type BlockScheduler interface {
 	ScheduleBlock(block []sparc.Inst) ([]sparc.Inst, error)
+}
+
+// BlocksScheduler is a BlockScheduler that can schedule a whole batch of
+// blocks at once (possibly concurrently, as core.Scheduler does). Edit
+// prefers this path: blocks carry no cross-block scheduler state, so
+// batching changes nothing about the output bytes, only the wall clock.
+type BlocksScheduler interface {
+	BlockScheduler
+	ScheduleBlocks(blocks [][]sparc.Inst) ([][]sparc.Inst, error)
 }
 
 // Options configure an editing pass.
@@ -119,13 +132,52 @@ func (ed *Editor) Edit(tool Instrumenter, opts Options) (*exe.Exe, error) {
 		case opts.Scheduler != nil:
 			sched = opts.Scheduler
 		case opts.SchedPipeline != nil:
-			sched = core.NewWith(opts.SchedPipeline, opts.Machine, opts.Sched)
+			if f := pipelineFactory(opts.SchedPipeline); f != nil {
+				sched = core.NewWithFactory(f, opts.Machine, opts.Sched)
+			} else {
+				sched = core.NewWith(opts.SchedPipeline, opts.Machine, opts.Sched)
+			}
 		default:
-			sched = core.New(opts.Machine, opts.Sched)
+			sc := opts.Sched
+			if sc.Cache == nil {
+				sc.Cache = ed.cache
+			}
+			sched = core.New(opts.Machine, sc)
 		}
 	}
 
-	// Pass 1: rebuild each block, recording the new start index of every
+	// Pass 1a: rebuild each block's instruction sequence (instrumentation
+	// prepended), then schedule the whole batch — concurrently when the
+	// scheduler supports it.
+	blocks := make([][]sparc.Inst, len(ed.graph.Blocks))
+	for i, b := range ed.graph.Blocks {
+		block := append([]sparc.Inst(nil), b.Insts...)
+		if tool != nil {
+			if added := tool.Instrument(b); len(added) > 0 {
+				block = append(added, block...)
+			}
+		}
+		blocks[i] = block
+	}
+	switch s := sched.(type) {
+	case nil:
+	case BlocksScheduler:
+		scheduled, err := s.ScheduleBlocks(blocks)
+		if err != nil {
+			return nil, fmt.Errorf("eel: scheduling: %w", err)
+		}
+		blocks = scheduled
+	default:
+		for i, block := range blocks {
+			scheduled, err := s.ScheduleBlock(block)
+			if err != nil {
+				return nil, fmt.Errorf("eel: scheduling block %d: %w", ed.graph.Blocks[i].Index, err)
+			}
+			blocks[i] = scheduled
+		}
+	}
+
+	// Pass 1b: lay the blocks out, recording the new start index of every
 	// old block leader.
 	newStart := make(map[int]int, len(ed.graph.Blocks))
 	var newInsts []sparc.Inst
@@ -136,21 +188,9 @@ func (ed *Editor) Edit(tool Instrumenter, opts Options) (*exe.Exe, error) {
 	}
 	var pending []pendingCTI
 
-	for _, b := range ed.graph.Blocks {
+	for i, b := range ed.graph.Blocks {
 		newStart[b.Start] = len(newInsts)
-		block := append([]sparc.Inst(nil), b.Insts...)
-		if tool != nil {
-			if added := tool.Instrument(b); len(added) > 0 {
-				block = append(added, block...)
-			}
-		}
-		if sched != nil {
-			scheduled, err := sched.ScheduleBlock(block)
-			if err != nil {
-				return nil, fmt.Errorf("eel: scheduling block %d: %w", b.Index, err)
-			}
-			block = scheduled
-		}
+		block := blocks[i]
 		if b.HasCTI {
 			// Locate the CTI in the (possibly reordered, possibly
 			// shrunken) block: it is the unique CTI instruction.
@@ -239,4 +279,19 @@ func (ed *Editor) Edit(tool Instrumenter, opts Options) (*exe.Exe, error) {
 // reordered by the paper's scheduler (the Table 2 baseline).
 func (ed *Editor) Reschedule(machine *spawn.Model, sched core.Options) (*exe.Exe, error) {
 	return ed.Edit(nil, Options{Machine: machine, Schedule: true, Sched: sched})
+}
+
+// pipelineFactory derives a per-worker oracle factory from a caller-
+// supplied stall oracle, so SchedPipeline users still get the parallel
+// scheduling path. Oracles that can replicate themselves (sim.HWPipeline
+// via Fork) and the standard pipe.State are recognized; anything else
+// returns nil and schedules sequentially on the single instance.
+func pipelineFactory(p core.Pipeline) func() core.Pipeline {
+	switch v := p.(type) {
+	case interface{ Fork() core.Pipeline }:
+		return func() core.Pipeline { return v.Fork() }
+	case *pipe.State:
+		return func() core.Pipeline { return pipe.NewState(v.Model()) }
+	}
+	return nil
 }

@@ -29,6 +29,10 @@ type RegAccess struct {
 
 // State is the execution-pipeline state threaded through a straight-line
 // instruction sequence. The zero value is not usable; call NewState.
+//
+// A State is not safe for concurrent use: it holds per-sequence history
+// and scratch buffers. Concurrent schedulers (core.ScheduleBlocks) give
+// every worker goroutine its own State.
 type State struct {
 	model *spawn.Model
 	// clock is the earliest absolute cycle at which the next instruction
@@ -61,9 +65,7 @@ func (s *State) Model() *spawn.Model { return s.model }
 // Reset clears the state, e.g. at a basic-block boundary.
 func (s *State) Reset() {
 	s.clock = 0
-	for c := range s.usage {
-		delete(s.usage, c)
-	}
+	clear(s.usage)
 	for i := range s.writeCy {
 		// -1 sentinels: cycle 0 writes and reads must not self-conflict.
 		s.writeCy[i] = -1

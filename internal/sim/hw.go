@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"eel/internal/core"
 	"eel/internal/pipe"
 	"eel/internal/sparc"
 	"eel/internal/spawn"
@@ -223,6 +224,9 @@ search:
 // HWPipeline adapts HW to the scheduler's Pipeline interface, so the
 // workload generator can pre-schedule code the way the vendors' compilers
 // did: against the real machine's grouping rules.
+//
+// An HWPipeline is not safe for concurrent use; Fork hands each worker
+// goroutine of a parallel scheduler an independent copy.
 type HWPipeline struct {
 	hw *HW
 }
@@ -230,6 +234,13 @@ type HWPipeline struct {
 // NewHWPipeline returns a schedulable view of the hardware model.
 func NewHWPipeline(model *spawn.Model, rules Rules) *HWPipeline {
 	return &HWPipeline{hw: NewHW(model, rules)}
+}
+
+// Fork returns a fresh, independent pipeline with the same model and
+// rules. It lets eel and core replicate a hardware stall oracle per
+// worker goroutine (core.NewWithFactory) instead of serializing on one.
+func (p *HWPipeline) Fork() core.Pipeline {
+	return NewHWPipeline(p.hw.model, p.hw.rules)
 }
 
 // Reset clears the pipeline state.

@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"eel/internal/core"
+	"eel/internal/sparc"
+	"eel/internal/spawn"
+)
+
+// TestHWPipelineForkIndependent: a forked pipeline starts empty and does
+// not share state with its parent.
+func TestHWPipelineForkIndependent(t *testing.T) {
+	model := spawn.MustLoad(spawn.SuperSPARC)
+	p := NewHWPipeline(model, MachineRules(spawn.SuperSPARC))
+	ld := sparc.NewLoad(sparc.OpLd, sparc.G1, sparc.O0, 0)
+	use := sparc.NewALUImm(sparc.OpAdd, sparc.G2, sparc.G1, 1)
+	if _, _, err := p.Issue(ld); err != nil {
+		t.Fatal(err)
+	}
+	parentStalls, err := p.Stalls(use)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parentStalls == 0 {
+		t.Fatal("expected a load-use stall on the parent pipeline")
+	}
+	fork := p.Fork()
+	forkStalls, err := fork.Stalls(use)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forkStalls != 0 {
+		t.Fatalf("fork inherited parent state: %d stalls", forkStalls)
+	}
+}
+
+// TestHWPipelineForkSchedulesInParallel: a scheduler built over forked
+// hardware oracles matches the sequential hardware-oracle schedule.
+func TestHWPipelineForkSchedulesInParallel(t *testing.T) {
+	model := spawn.MustLoad(spawn.UltraSPARC)
+	rules := MachineRules(spawn.UltraSPARC)
+	block := []sparc.Inst{
+		sparc.NewLoad(sparc.OpLd, sparc.G1, sparc.O0, 0),
+		sparc.NewALUImm(sparc.OpAdd, sparc.G2, sparc.G1, 1),
+		sparc.NewStore(sparc.OpSt, sparc.G2, sparc.O0, 0),
+		sparc.NewALUImm(sparc.OpAdd, sparc.G3, sparc.G4, 1),
+		sparc.NewALUImm(sparc.OpAdd, sparc.G5, sparc.G6, 1),
+	}
+	blocks := make([][]sparc.Inst, 32)
+	for i := range blocks {
+		blocks[i] = block
+	}
+	proto := NewHWPipeline(model, rules)
+	seq := core.NewWith(NewHWPipeline(model, rules), model, core.Options{})
+	want := make([][]sparc.Inst, len(blocks))
+	for i, b := range blocks {
+		out, err := seq.ScheduleBlock(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = out
+	}
+	par := core.NewWithFactory(func() core.Pipeline { return proto.Fork() }, model, core.Options{Workers: 4})
+	got, err := par.ScheduleBlocks(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("forked-oracle parallel schedule differs from sequential")
+	}
+}
