@@ -45,6 +45,7 @@ func run() error {
 		doRun      = flag.Bool("run", false, "execute the result and report")
 		maxSteps   = flag.Uint64("maxsteps", 1<<30, "execution step limit with -run")
 		workers    = flag.Int("workers", 0, "scheduling worker pool size (0 = GOMAXPROCS)")
+		oracleName = flag.String("oracle", "fast", "stall oracle: fast (compiled tables) or reference (map-based ground truth)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -52,6 +53,10 @@ func run() error {
 		os.Exit(2)
 	}
 
+	oracle, err := core.ParseOracle(*oracleName)
+	if err != nil {
+		return err
+	}
 	model, err := spawn.Load(spawn.Machine(*machine))
 	if err != nil {
 		return err
@@ -69,7 +74,7 @@ func run() error {
 	result := x
 	switch {
 	case *reschedule:
-		result, err = ed.Reschedule(model, core.Options{Workers: *workers})
+		result, err = ed.Reschedule(model, core.Options{Workers: *workers, Oracle: oracle})
 	default:
 		prof = &qpt.SlowProfiler{}
 		opts := eel.Options{}
@@ -77,6 +82,7 @@ func run() error {
 			opts.Machine = model
 			opts.Schedule = true
 			opts.Sched.Workers = *workers
+			opts.Sched.Oracle = oracle
 		}
 		result, err = ed.Edit(prof, opts)
 	}

@@ -6,8 +6,13 @@
 //
 //	spawn -machine ultrasparc -package ultrasparc -o tables.go
 //	spawn -sadl my.sadl -name mymachine -package mymachine -o tables.go
+//	spawn -check
 //
 // With -o "-" (the default) the generated source is written to stdout.
+// -check verifies that the generated tables committed under
+// internal/spawn/gen/ are byte-for-byte what regeneration would produce
+// (CI runs this so the compiled fast oracle can never drift from the
+// SADL descriptions).
 package main
 
 import (
@@ -26,8 +31,18 @@ func main() {
 		pkg      = flag.String("package", "machine", "package name for the generated source")
 		out      = flag.String("o", "-", "output file, or - for stdout")
 		describe = flag.Bool("describe", false, "print a human-readable model summary instead of code")
+		check    = flag.Bool("check", false, "verify the committed generated tables match regeneration, then exit")
 	)
 	flag.Parse()
+
+	if *check {
+		if err := spawn.VerifyGenerated(); err != nil {
+			fmt.Fprintln(os.Stderr, "spawn:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "spawn: committed generated tables are up to date")
+		return
+	}
 
 	var model *spawn.Model
 	var err error

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"eel/internal/bench"
+	"eel/internal/core"
 	"eel/internal/spawn"
 	"eel/internal/workload"
 )
@@ -40,8 +41,14 @@ func run() error {
 		benchmarks = flag.String("benchmarks", "", "comma-separated benchmark subset")
 		validate   = flag.Bool("validate", false, "cross-check profile counts between runs")
 		workers    = flag.Int("workers", 0, "scheduling worker pool size (0 = GOMAXPROCS)")
+		oracleName = flag.String("oracle", "fast", "stall oracle: fast (compiled tables) or reference (map-based ground truth)")
 	)
 	flag.Parse()
+
+	oracle, err := core.ParseOracle(*oracleName)
+	if err != nil {
+		return err
+	}
 
 	subset := []string(nil)
 	if *benchmarks != "" {
@@ -61,6 +68,7 @@ func run() error {
 			Benchmarks:         subset,
 			ValidateCounts:     *validate,
 			Workers:            *workers,
+			Oracle:             oracle,
 		}
 	}
 	configs := map[int]bench.TableConfig{

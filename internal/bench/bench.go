@@ -40,6 +40,10 @@ type TableConfig struct {
 	// 0 = GOMAXPROCS). Scheduling output is byte-identical for any value,
 	// so tables never depend on it — only wall-clock time does.
 	Workers int
+	// Oracle selects the stall oracle (see core.Options.Oracle). Like
+	// Workers it never changes a table, only editing wall-clock time: the
+	// fast and reference oracles schedule identically.
+	Oracle core.Oracle
 }
 
 func (c TableConfig) withDefaults() TableConfig {
@@ -51,6 +55,9 @@ func (c TableConfig) withDefaults() TableConfig {
 	}
 	if c.Workers != 0 && c.Sched.Workers == 0 {
 		c.Sched.Workers = c.Workers
+	}
+	if c.Oracle != core.OracleFast && c.Sched.Oracle == core.OracleFast {
+		c.Sched.Oracle = c.Oracle
 	}
 	return c
 }

@@ -120,6 +120,12 @@ func cacheSeed(model *spawn.Model, opts Options) uint64 {
 	if opts.ChainFirst {
 		bits |= 4
 	}
+	// The two oracles produce identical schedules, but keeping their cache
+	// entries apart means a fast-oracle regression can never leak results
+	// into a reference-oracle pass (or vice versa).
+	if opts.Oracle == OracleReference {
+		bits |= 8
+	}
 	h ^= bits
 	h *= fnvPrime
 	if h == 0 {

@@ -16,16 +16,18 @@ import (
 func BenchmarkScheduleBlocks(b *testing.B) {
 	model := spawn.MustLoad(spawn.UltraSPARC)
 	blocks := randomBlocks(rand.New(rand.NewSource(1)), 2000)
-	for _, workers := range []int{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			s := New(model, Options{Workers: workers})
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				if _, err := s.ScheduleBlocks(blocks); err != nil {
-					b.Fatal(err)
+	for _, oracle := range []Oracle{OracleFast, OracleReference} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("oracle=%s/workers=%d", oracle, workers), func(b *testing.B) {
+				s := New(model, Options{Workers: workers, Oracle: oracle})
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := s.ScheduleBlocks(blocks); err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-		})
+			})
+		}
 	}
 }
 

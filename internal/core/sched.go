@@ -35,6 +35,39 @@ import (
 	"eel/internal/spawn"
 )
 
+// Oracle selects the stall-oracle implementation backing New.
+type Oracle int
+
+const (
+	// OracleFast is the compiled table-driven pipe.FastState: flat
+	// precomputed per-group tables probed against a fixed-size ring
+	// buffer, no per-probe allocation. The default.
+	OracleFast Oracle = iota
+	// OracleReference is the map-based pipe.State — the ground truth the
+	// fast oracle is differentially tested against. Schedules are
+	// identical; only the wall clock differs.
+	OracleReference
+)
+
+// String names the oracle as the CLIs' -oracle flag spells it.
+func (o Oracle) String() string {
+	if o == OracleReference {
+		return "reference"
+	}
+	return "fast"
+}
+
+// ParseOracle converts a -oracle flag value.
+func ParseOracle(s string) (Oracle, error) {
+	switch s {
+	case "fast", "":
+		return OracleFast, nil
+	case "reference":
+		return OracleReference, nil
+	}
+	return 0, fmt.Errorf("core: unknown oracle %q (want fast or reference)", s)
+}
+
 // Options tune the scheduler. The zero value is the paper's configuration.
 type Options struct {
 	// ConservativeMem makes instrumentation memory references conflict
@@ -47,6 +80,11 @@ type Options struct {
 	// NoReorder disables scheduling entirely; blocks pass through
 	// unchanged (the unscheduled instrumentation baseline).
 	NoReorder bool
+	// Oracle selects the stall oracle New builds (fast compiled tables by
+	// default; the reference interpreter for A/B checks). Both produce
+	// byte-identical schedules — the equivalence is fuzzed in
+	// internal/pipe and enforced in CI.
+	Oracle Oracle
 	// Workers bounds the worker pool used by ScheduleBlocks. 0 means
 	// runtime.GOMAXPROCS(0); negative forces the sequential path. The
 	// output is byte-identical regardless of the worker count: blocks
@@ -100,9 +138,14 @@ type Scheduler struct {
 }
 
 // New returns a scheduler driven by the machine's SADL pipeline model —
-// the paper's configuration.
+// the paper's configuration. Options.Oracle picks the implementation:
+// the compiled table-driven pipe.FastState by default, or the reference
+// pipe.State interpreter.
 func New(model *spawn.Model, opts Options) *Scheduler {
-	factory := func() Pipeline { return pipe.NewState(model) }
+	factory := func() Pipeline { return pipe.NewFastState(model) }
+	if opts.Oracle == OracleReference {
+		factory = func() Pipeline { return pipe.NewState(model) }
+	}
 	s := &Scheduler{model: model, state: factory(), factory: factory, opts: opts}
 	s.pool.New = func() any { return factory() }
 	// Only the default oracle is cacheable: the model name plus the
@@ -152,7 +195,9 @@ type edge struct {
 // scheduled instruction when that preserves semantics, or a nop otherwise.
 //
 // Blocks ending in an annulled branch are returned unchanged (their delay
-// slot executes conditionally, pinning it).
+// slot executes conditionally, pinning it). If the greedy schedule would
+// model more cycles than the original order, the original is returned
+// instead (see guardedSchedule), so scheduling never costs cycles.
 func (s *Scheduler) ScheduleBlock(block []sparc.Inst) ([]sparc.Inst, error) {
 	return s.scheduleBlockOn(s.state, block)
 }
@@ -167,17 +212,18 @@ func (s *Scheduler) scheduleBlockOn(p Pipeline, block []sparc.Inst) ([]sparc.Ins
 		if out, ok := c.get(s.cacheID, block); ok {
 			return out, nil
 		}
-		out, err := s.scheduleBlockUncached(p, block)
+		out, err := s.guardedSchedule(p, block)
 		if err != nil {
 			return nil, err
 		}
 		c.put(s.cacheID, block, out)
 		return out, nil
 	}
-	return s.scheduleBlockUncached(p, block)
+	return s.guardedSchedule(p, block)
 }
 
-func (s *Scheduler) scheduleBlockUncached(p Pipeline, block []sparc.Inst) ([]sparc.Inst, error) {
+// scheduleBlockRaw is one unguarded scheduling pass over a block.
+func (s *Scheduler) scheduleBlockRaw(p Pipeline, block []sparc.Inst) ([]sparc.Inst, error) {
 	body := block
 	var cti sparc.Inst
 	hasCTI := false
@@ -214,6 +260,53 @@ func (s *Scheduler) scheduleBlockUncached(p Pipeline, block []sparc.Inst) ([]spa
 	out = append(out, scheduled...)
 	out = append(out, cti, sparc.NewNop())
 	return out, nil
+}
+
+// guardedSchedule runs scheduleBlockRaw and keeps the result only if it
+// does not model more cycles than the original order. Greedy list
+// scheduling is not optimal: a locally stall-free pick can occupy a unit
+// a later instruction needs and lengthen the block. The paper's scheduler
+// exists to hide instrumentation overhead, so a schedule that models
+// worse than leaving the block alone is never worth emitting.
+func (s *Scheduler) guardedSchedule(p Pipeline, block []sparc.Inst) ([]sparc.Inst, error) {
+	out, err := s.scheduleBlockRaw(p, block)
+	if err != nil {
+		return nil, err
+	}
+	before, err := s.sequenceCost(p, block)
+	if err != nil {
+		return nil, err
+	}
+	after, err := s.sequenceCost(p, out)
+	if err != nil {
+		return nil, err
+	}
+	if after > before {
+		return block, nil
+	}
+	return out, nil
+}
+
+// sequenceCost is pipe.SequenceCycles against this scheduler's oracle:
+// the issue cycle of the sequence's last-finishing instruction plus its
+// remaining pipeline occupancy, from an empty pipeline.
+func (s *Scheduler) sequenceCost(p Pipeline, insts []sparc.Inst) (int64, error) {
+	p.Reset()
+	var end int64
+	for _, inst := range insts {
+		g, err := s.model.GroupOf(inst)
+		if err != nil {
+			return 0, err
+		}
+		_, issue, err := p.Issue(inst)
+		if err != nil {
+			return 0, err
+		}
+		if e := issue + int64(g.Cycles); e > end {
+			end = e
+		}
+	}
+	return end, nil
 }
 
 // delaySlotLegal reports whether cand may move from just before the CTI

@@ -284,12 +284,15 @@ func (ed *Editor) Reschedule(machine *spawn.Model, sched core.Options) (*exe.Exe
 // pipelineFactory derives a per-worker oracle factory from a caller-
 // supplied stall oracle, so SchedPipeline users still get the parallel
 // scheduling path. Oracles that can replicate themselves (sim.HWPipeline
-// via Fork) and the standard pipe.State are recognized; anything else
-// returns nil and schedules sequentially on the single instance.
+// via Fork) and the standard pipe oracles (compiled FastState, reference
+// State) are recognized; anything else returns nil and schedules
+// sequentially on the single instance.
 func pipelineFactory(p core.Pipeline) func() core.Pipeline {
 	switch v := p.(type) {
 	case interface{ Fork() core.Pipeline }:
 		return func() core.Pipeline { return v.Fork() }
+	case *pipe.FastState:
+		return func() core.Pipeline { return pipe.NewFastState(v.Model()) }
 	case *pipe.State:
 		return func() core.Pipeline { return pipe.NewState(v.Model()) }
 	}

@@ -1,0 +1,60 @@
+package pipe_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"eel/internal/pipe"
+	"eel/internal/sparc"
+	"eel/internal/spawn"
+	"eel/internal/workload"
+)
+
+// oracle abstracts the two stall-oracle implementations for benchmarking.
+type oracle interface {
+	Reset()
+	Stalls(inst sparc.Inst) (int, error)
+	Issue(inst sparc.Inst) (stalls int, issueCycle int64, err error)
+}
+
+// BenchmarkStallOracle replays a list-scheduler-shaped query mix (probe
+// every remaining instruction, issue one, repeat) over a pool of random
+// workload blocks — the fast oracle's target workload. The fast/reference
+// ratio here is the per-query speedup behind the ScheduleBlocks numbers
+// in internal/core.
+func BenchmarkStallOracle(b *testing.B) {
+	model := spawn.MustLoad(spawn.UltraSPARC)
+	rng := rand.New(rand.NewSource(42))
+	blocks := make([][]sparc.Inst, 64)
+	for i := range blocks {
+		blocks[i] = workload.RandomBlock(rng, 8+rng.Intn(24), i%2 == 0)
+	}
+	impls := []struct {
+		name string
+		mk   func() oracle
+	}{
+		{"fast", func() oracle { return pipe.NewFastState(model) }},
+		{"reference", func() oracle { return pipe.NewState(model) }},
+	}
+	for _, impl := range impls {
+		b.Run(fmt.Sprintf("oracle=%s", impl.name), func(b *testing.B) {
+			s := impl.mk()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				block := blocks[i%len(blocks)]
+				s.Reset()
+				for j := range block {
+					for k := j; k < len(block); k++ {
+						if _, err := s.Stalls(block[k]); err != nil {
+							b.Fatal(err)
+						}
+					}
+					if _, _, err := s.Issue(block[j]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}

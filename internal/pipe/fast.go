@@ -1,0 +1,182 @@
+package pipe
+
+import (
+	"fmt"
+
+	"eel/internal/sparc"
+	"eel/internal/spawn"
+)
+
+// FastState is the compiled, table-driven pipeline_stalls oracle: the
+// Go analogue of the specialized function Spawn emits (paper §3.2,
+// Appendix A). It answers the same queries as State — which remains the
+// reference oracle differential tests check it against — but probes the
+// model's precomputed tables (spawn.CompiledTables) against a fixed-size
+// ring buffer of per-cycle unit-usage rows instead of interpreting event
+// lists through an absolute-cycle map, and performs no allocation per
+// probe. Committed usage always lies in the window
+// [clock, clock+MaxHorizon), so a ring of MaxHorizon rows suffices and
+// cycles at or beyond the window are known-free.
+//
+// Like State, a FastState is not safe for concurrent use.
+type FastState struct {
+	model *spawn.Model
+	tab   *spawn.CompiledTables
+	// clock is the earliest absolute cycle at which the next instruction
+	// may issue; the ring row of absolute cycle c (clock <= c <
+	// clock+horizon) starts at (c%horizon)*nu.
+	clock   int64
+	horizon int64
+	nu      int
+	ring    []int32
+	writeCy [sparc.NumRegs]int64
+	readCy  [sparc.NumRegs]int64
+
+	resolver Resolver
+}
+
+// NewFastState returns an empty fast pipeline state for a machine model.
+func NewFastState(m *spawn.Model) *FastState {
+	t := m.Compiled()
+	s := &FastState{model: m, tab: t, horizon: int64(t.MaxSpan), nu: len(m.Units)}
+	if s.horizon < 1 {
+		s.horizon = 1
+	}
+	s.ring = make([]int32, int(s.horizon)*s.nu)
+	s.Reset()
+	return s
+}
+
+// Model returns the machine model the state was built for.
+func (s *FastState) Model() *spawn.Model { return s.model }
+
+// Reset clears the state, e.g. at a basic-block boundary.
+func (s *FastState) Reset() {
+	s.clock = 0
+	clear(s.ring)
+	for i := range s.writeCy {
+		// -1 sentinels: cycle 0 writes and reads must not self-conflict.
+		s.writeCy[i] = -1
+		s.readCy[i] = -1
+	}
+}
+
+// Clock returns the earliest issue cycle for the next instruction.
+func (s *FastState) Clock() int64 { return s.clock }
+
+// Stalls computes how many cycles inst must wait before issuing, without
+// modifying the state.
+func (s *FastState) Stalls(inst sparc.Inst) (int, error) {
+	st, _, err := s.place(inst, false)
+	return st, err
+}
+
+// Issue places inst into the pipeline, committing its resource usage and
+// register timing, and returns its stall count and absolute issue cycle.
+func (s *FastState) Issue(inst sparc.Inst) (stalls int, issueCycle int64, err error) {
+	return s.place(inst, true)
+}
+
+// MustIssue is Issue for instructions known to be schedulable; it panics
+// on model lookup failure.
+func (s *FastState) MustIssue(inst sparc.Inst) (stalls int, issueCycle int64) {
+	st, issue, err := s.Issue(inst)
+	if err != nil {
+		panic(err)
+	}
+	return st, issue
+}
+
+// place mirrors (*State).place cycle for cycle: retry the issue one cycle
+// later until every held-unit entry finds enough free copies and every
+// register access satisfies the RAW, WAR and WAW rules.
+func (s *FastState) place(inst sparc.Inst, commit bool) (stalls int, issueCycle int64, err error) {
+	g, err := s.model.GroupOf(inst)
+	if err != nil {
+		return 0, 0, err
+	}
+	cg := &s.tab.Groups[g.ID]
+	reads, writes := s.resolver.resolveWith(g, inst, cg.DefaultRead, cg.DefaultWrite)
+
+	const maxStall = 1 << 16 // mirrors State's bound
+	if cg.Infeasible {
+		// The reference oracle would probe maxStall cycles and then give
+		// up; the demand can never fit, so fail the same way immediately.
+		return 0, 0, fmt.Errorf("pipe: cannot place %v within %d cycles", inst, maxStall)
+	}
+	counts := s.tab.UnitCounts
+	horizonEnd := s.clock + s.horizon
+probe:
+	for t := s.clock; ; t++ {
+		if t-s.clock > maxStall {
+			return 0, 0, fmt.Errorf("pipe: cannot place %v within %d cycles", inst, maxStall)
+		}
+		// Structural hazards, sparse: only nonzero held entries checked.
+		for _, e := range cg.NZ {
+			abs := t + int64(e.Cycle)
+			if abs >= horizonEnd {
+				// No committed usage exists at or beyond the window.
+				continue
+			}
+			if counts[e.Unit]-s.ring[(abs%s.horizon)*int64(s.nu)+int64(e.Unit)] < int32(e.Num) {
+				continue probe
+			}
+		}
+		// RAW: a read must not precede the value's availability.
+		for _, r := range reads {
+			if t+int64(r.Cycle) < s.writeCy[r.Reg] {
+				continue probe
+			}
+		}
+		// WAW and WAR: the new value must become available strictly after
+		// the previous value's availability and after its last read.
+		for _, w := range writes {
+			avail := t + int64(w.Cycle)
+			if avail <= s.writeCy[w.Reg] || avail <= s.readCy[w.Reg] {
+				continue probe
+			}
+		}
+		stalls = int(t - s.clock)
+		if commit {
+			s.commit(cg, t, reads, writes)
+		}
+		return stalls, t, nil
+	}
+}
+
+// commit records the placed instruction's effects. Ring rows whose cycles
+// fall behind the new clock are zeroed before the new usage lands, because
+// they alias cycles inside the advanced window.
+func (s *FastState) commit(cg *spawn.CompiledGroup, issue int64, reads, writes []RegAccess) {
+	nu := int64(s.nu)
+	if issue > s.clock {
+		if issue-s.clock >= s.horizon {
+			clear(s.ring)
+		} else {
+			for c := s.clock; c < issue; c++ {
+				row := (c % s.horizon) * nu
+				clear(s.ring[row : row+nu])
+			}
+		}
+		s.clock = issue
+	}
+	for _, e := range cg.NZ {
+		abs := issue + int64(e.Cycle)
+		s.ring[(abs%s.horizon)*nu+int64(e.Unit)] += int32(e.Num)
+	}
+	for _, r := range reads {
+		if abs := issue + int64(r.Cycle); abs > s.readCy[r.Reg] {
+			s.readCy[r.Reg] = abs
+		}
+	}
+	for _, w := range writes {
+		if abs := issue + int64(w.Cycle); abs > s.writeCy[w.Reg] {
+			s.writeCy[w.Reg] = abs
+		}
+	}
+}
+
+// String renders a compact description of the state for debugging.
+func (s *FastState) String() string {
+	return fmt.Sprintf("pipe.FastState{clock=%d, horizon=%d}", s.clock, s.horizon)
+}

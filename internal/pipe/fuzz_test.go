@@ -1,0 +1,71 @@
+// Differential fuzzing of the two stall oracles. This lives in an
+// external test package because the block generator (internal/workload)
+// transitively imports internal/pipe.
+package pipe_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"eel/internal/pipe"
+	"eel/internal/sparc"
+	"eel/internal/spawn"
+	"eel/internal/workload"
+)
+
+// FuzzStallOracle generates a random legal straight-line block from the
+// workload content generator and replays it list-scheduler-style against
+// both oracles on every shipped machine: before each issue, every
+// remaining instruction is probed (Stalls), then the next one is issued —
+// exactly the query mix core.Scheduler produces. Probe results, issue
+// placements, errors and clocks must match instruction for instruction.
+// Each block runs twice through the same pair of states with a Reset in
+// between, so state reuse (the scheduler pools oracles) is covered too.
+func FuzzStallOracle(f *testing.F) {
+	f.Add(int64(1), 8, false)
+	f.Add(int64(2), 24, false)
+	f.Add(int64(3), 24, true)
+	f.Add(int64(4), 47, true)
+	f.Add(int64(-6148914691236517206), 33, true) // 0xaaaa... bit pattern
+	f.Add(int64(7), 1, false)
+	f.Fuzz(func(t *testing.T, seed int64, n int, fp bool) {
+		size := ((n % 48) + 48) % 48
+		size++
+		for _, machine := range spawn.Machines() {
+			model := spawn.MustLoad(machine)
+			block := workload.RandomBlock(rand.New(rand.NewSource(seed)), size, fp)
+			ref := pipe.NewState(model)
+			fast := pipe.NewFastState(model)
+			for round := 0; round < 2; round++ {
+				ref.Reset()
+				fast.Reset()
+				replayBlock(t, machine, round, block, ref, fast)
+			}
+		}
+	})
+}
+
+func replayBlock(t *testing.T, machine spawn.Machine, round int, block []sparc.Inst, ref *pipe.State, fast *pipe.FastState) {
+	t.Helper()
+	for i, inst := range block {
+		// Probe every not-yet-issued instruction, as list scheduling does.
+		for j := i; j < len(block); j++ {
+			rs, rerr := ref.Stalls(block[j])
+			fs, ferr := fast.Stalls(block[j])
+			if rs != fs || (rerr == nil) != (ferr == nil) {
+				t.Fatalf("%s round %d: probe %d after %d issues: (%d,%v) vs (%d,%v) for %v",
+					machine, round, j, i, rs, rerr, fs, ferr, block[j])
+			}
+		}
+		rs, ri, rerr := ref.Issue(inst)
+		fs, fi, ferr := fast.Issue(inst)
+		if rs != fs || ri != fi || (rerr == nil) != (ferr == nil) {
+			t.Fatalf("%s round %d: issue %d: (%d,%d,%v) vs (%d,%d,%v) for %v",
+				machine, round, i, rs, ri, rerr, fs, fi, ferr, inst)
+		}
+		if ref.Clock() != fast.Clock() {
+			t.Fatalf("%s round %d: clocks diverge after %d issues: %d vs %d",
+				machine, round, i+1, ref.Clock(), fast.Clock())
+		}
+	}
+}

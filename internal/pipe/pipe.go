@@ -260,9 +260,6 @@ type Resolver struct {
 // Resolve returns the resolved reads and writes of inst under group g.
 // The returned slices are valid until the next call.
 func (s *Resolver) Resolve(g *spawn.Group, inst sparc.Inst) (reads, writes []RegAccess) {
-	s.reads = s.reads[:0]
-	s.writes = s.writes[:0]
-
 	defaultRead := 1
 	if len(g.Reads) > 0 {
 		defaultRead = g.Reads[0].Cycle
@@ -281,6 +278,15 @@ func (s *Resolver) Resolve(g *spawn.Group, inst sparc.Inst) (reads, writes []Reg
 			}
 		}
 	}
+	return s.resolveWith(g, inst, defaultRead, defaultWrite)
+}
+
+// resolveWith is Resolve with the fallback cycles supplied by the caller
+// (FastState reads them from the compiled tables instead of rescanning the
+// group's access lists on every probe).
+func (s *Resolver) resolveWith(g *spawn.Group, inst sparc.Inst, defaultRead, defaultWrite int) (reads, writes []RegAccess) {
+	s.reads = s.reads[:0]
+	s.writes = s.writes[:0]
 
 	s.regbuf = inst.Uses(s.regbuf[:0])
 	for _, r := range s.regbuf {

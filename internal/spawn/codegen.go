@@ -28,6 +28,7 @@ func Generate(m *Model, pkg string) (string, error) {
 		"{{REGS COUNT}}":   fmt.Sprint(sparc.NumRegs),
 		"{{UNIT TABLE}}":   unitTable(m),
 		"{{GROUP TABLE}}":  groupTable(m),
+		"{{FAST TABLE}}":   fastTable(m),
 		"{{OP TABLE}}":     opTable(m),
 	}
 	for k, v := range repl {
@@ -149,6 +150,108 @@ func groupTable(m *Model) string {
 	}
 	b.WriteString("}\n")
 	return b.String()
+}
+
+// fastTable emits the compiled flat tables — the same data Model.Compiled
+// builds at runtime, specialized into the generated package: per timing
+// group a dense per-cycle unit-usage vector, the fallback register
+// read/write cycle offsets, and the model-wide horizon.
+func fastTable(m *Model) string {
+	t := m.Compiled()
+	var b strings.Builder
+	b.WriteString("// Compiled pipeline_stalls tables (paper §3.2): GroupHeld[g] is the\n")
+	b.WriteString("// dense per-cycle unit-usage vector of timing group g, row-major —\n")
+	b.WriteString("// GroupHeld[g][c*NumUnits+u] copies of unit u are held during relative\n")
+	b.WriteString("// cycle c (releases apply before acquisitions). GroupSpan[g] is the\n")
+	b.WriteString("// number of rows; no group holds units at or beyond MaxHorizon.\n")
+	fmt.Fprintf(&b, "const MaxHorizon = %d\n\n", t.MaxSpan)
+	b.WriteString("var GroupSpan = [NumGroups]int{")
+	for i, g := range t.Groups {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d", g.Span)
+	}
+	b.WriteString("}\n\n")
+	b.WriteString("var GroupHeld = [NumGroups][]int{\n")
+	for _, g := range t.Groups {
+		b.WriteString("\t{")
+		for i, n := range g.Held {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%d", n)
+		}
+		b.WriteString("},\n")
+	}
+	b.WriteString("}\n\n")
+	b.WriteString("// GroupDefaultRead[g] and GroupDefaultWrite[g] are the cycle offsets\n")
+	b.WriteString("// used for register accesses the description does not name explicitly.\n")
+	b.WriteString("var GroupDefaultRead = [NumGroups]int{")
+	for i, g := range t.Groups {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d", g.DefaultRead)
+	}
+	b.WriteString("}\n\n")
+	b.WriteString("var GroupDefaultWrite = [NumGroups]int{")
+	for i, g := range t.Groups {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d", g.DefaultWrite)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// GeneratedPath returns the repo-relative path of a shipped machine's
+// committed generated tables.
+func GeneratedPath(machine Machine) string {
+	return "internal/spawn/gen/" + string(machine) + "/tables.go"
+}
+
+// VerifyGenerated regenerates every shipped machine's tables and compares
+// them byte-for-byte against the committed gen/ sources (as embedded at
+// build time). A mismatch means the SADL descriptions, the template or the
+// code generator drifted from the committed tables; regenerate with
+//
+//	go generate ./internal/spawn
+func VerifyGenerated() error {
+	for _, machine := range Machines() {
+		m, err := Load(machine)
+		if err != nil {
+			return err
+		}
+		want, err := Generate(m, string(machine))
+		if err != nil {
+			return err
+		}
+		got, err := embedded.ReadFile("gen/" + string(machine) + "/tables.go")
+		if err != nil {
+			return fmt.Errorf("spawn: missing committed tables for %s: %w", machine, err)
+		}
+		if string(got) != want {
+			return fmt.Errorf("spawn: %s is stale: committed tables differ from the %s description at byte %d (regenerate with go generate ./internal/spawn)",
+				GeneratedPath(machine), machine, firstDiff(string(got), want))
+		}
+	}
+	return nil
+}
+
+// firstDiff returns the offset of the first differing byte.
+func firstDiff(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
 }
 
 func opTable(m *Model) string {

@@ -16,8 +16,15 @@ import (
 	"eel/internal/sparc"
 )
 
-//go:embed descriptions/*.sadl templates/*.spawn
+//go:embed descriptions/*.sadl templates/*.spawn gen
 var embedded embed.FS
+
+// The committed gen/ tables must track the descriptions and the template;
+// VerifyGenerated (and `spawn -check`, and CI) enforce it byte-for-byte.
+//
+//go:generate go run eel/cmd/spawn -machine hypersparc -package hypersparc -o gen/hypersparc/tables.go
+//go:generate go run eel/cmd/spawn -machine supersparc -package supersparc -o gen/supersparc/tables.go
+//go:generate go run eel/cmd/spawn -machine ultrasparc -package ultrasparc -o gen/ultrasparc/tables.go
 
 // Machine names a shipped microarchitecture description.
 type Machine string

@@ -1,0 +1,129 @@
+package spawn
+
+import "sync"
+
+// This file is the analysis half of the paper's compiled pipeline_stalls:
+// it flattens a Model's per-group event lists into the dense tables the
+// fast oracle (pipe.FastState) probes, the same tables Generate emits into
+// the per-machine gen/ packages. Precomputing them once per model moves
+// all per-cycle event accumulation out of the scheduler's hottest loop.
+
+// HeldUse is one nonzero entry of a group's held-units profile: the group
+// holds Num copies of unit Unit during relative cycle Cycle.
+type HeldUse struct {
+	Cycle int
+	Unit  int
+	Num   int
+}
+
+// CompiledGroup is one timing group's flat tables.
+type CompiledGroup struct {
+	// Span is the number of relative cycles the group occupies units.
+	Span int
+	// Held is the dense per-cycle unit-usage vector, row-major:
+	// Held[c*numUnits+u] copies of unit u are held during relative cycle c
+	// (releases in a cycle apply before acquisitions, per the paper).
+	Held []int32
+	// NZ lists the nonzero entries of Held, for sparse probing.
+	NZ []HeldUse
+	// DefaultRead and DefaultWrite are the fallback cycle offsets for
+	// register accesses the description does not name explicitly: the
+	// earliest declared read cycle (or 1) and the latest declared write
+	// availability (or the group's occupancy).
+	DefaultRead  int
+	DefaultWrite int
+	// Infeasible marks a group that demands more copies of some unit in a
+	// single cycle than the machine has; no instruction of this group can
+	// ever issue (only malformed descriptions produce this).
+	Infeasible bool
+}
+
+// CompiledTables is the flat, probe-ready form of a Model.
+type CompiledTables struct {
+	// MaxSpan is the model-wide horizon: no instruction holds any unit
+	// MaxSpan or more cycles after its issue cycle.
+	MaxSpan    int
+	UnitCounts []int32
+	Groups     []CompiledGroup
+}
+
+var compiledCache sync.Map // *Model -> *CompiledTables
+
+// Compiled returns the model's flat compiled tables, building and caching
+// them on first use. The result is shared and must not be mutated.
+func (m *Model) Compiled() *CompiledTables {
+	if t, ok := compiledCache.Load(m); ok {
+		return t.(*CompiledTables)
+	}
+	t := compile(m)
+	compiledCache.Store(m, t)
+	return t
+}
+
+func compile(m *Model) *CompiledTables {
+	t := &CompiledTables{
+		UnitCounts: make([]int32, len(m.Units)),
+		Groups:     make([]CompiledGroup, len(m.Groups)),
+	}
+	for i, u := range m.Units {
+		t.UnitCounts[i] = int32(u.Count)
+	}
+	for _, g := range m.Groups {
+		t.Groups[g.ID] = compileGroup(m, g)
+		if s := t.Groups[g.ID].Span; s > t.MaxSpan {
+			t.MaxSpan = s
+		}
+	}
+	return t
+}
+
+// compileGroup accumulates the group's acquire/release events into the
+// dense held-units profile — the computation (*pipe.State).heldProfile
+// performs on every probe, done once here.
+func compileGroup(m *Model, g *Group) CompiledGroup {
+	nu := len(m.Units)
+	span := len(g.Acquire)
+	cg := CompiledGroup{
+		Span: span,
+		Held: make([]int32, span*nu),
+	}
+	cur := make([]int32, nu)
+	for c := 0; c < span; c++ {
+		for _, e := range g.Release[c] {
+			cur[e.Unit] -= int32(e.Num)
+		}
+		for _, e := range g.Acquire[c] {
+			cur[e.Unit] += int32(e.Num)
+		}
+		copy(cg.Held[c*nu:(c+1)*nu], cur)
+		for u, n := range cur {
+			if n > 0 {
+				cg.NZ = append(cg.NZ, HeldUse{Cycle: c, Unit: u, Num: int(n)})
+				if n > int32(m.Units[u].Count) {
+					cg.Infeasible = true
+				}
+			}
+		}
+	}
+
+	// Fallback access cycles, mirroring pipe.Resolver's defaults.
+	cg.DefaultRead = 1
+	if len(g.Reads) > 0 {
+		cg.DefaultRead = g.Reads[0].Cycle
+		for _, r := range g.Reads {
+			if r.Cycle < cg.DefaultRead {
+				cg.DefaultRead = r.Cycle
+			}
+		}
+	}
+	cg.DefaultWrite = g.Cycles
+	if len(g.Writes) > 0 {
+		cg.DefaultWrite = 0
+		for _, w := range g.Writes {
+			if w.Cycle > cg.DefaultWrite {
+				cg.DefaultWrite = w.Cycle
+			}
+		}
+	}
+	return cg
+}

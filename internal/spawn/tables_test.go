@@ -1,0 +1,127 @@
+package spawn_test
+
+import (
+	"testing"
+
+	"eel/internal/spawn"
+	hyper "eel/internal/spawn/gen/hypersparc"
+	super "eel/internal/spawn/gen/supersparc"
+	ultra "eel/internal/spawn/gen/ultrasparc"
+)
+
+// genTables is one generated package's fast tables, flattened into a
+// shape the cross-check below can compare against Model.Compiled().
+type genTables struct {
+	maxHorizon   int
+	unitCounts   []int
+	span         []int
+	held         [][]int
+	defaultRead  []int
+	defaultWrite []int
+}
+
+func genTablesFor(machine spawn.Machine) genTables {
+	switch machine {
+	case spawn.HyperSPARC:
+		return genTables{hyper.MaxHorizon, hyper.UnitCounts[:], hyper.GroupSpan[:], hyper.GroupHeld[:], hyper.GroupDefaultRead[:], hyper.GroupDefaultWrite[:]}
+	case spawn.SuperSPARC:
+		return genTables{super.MaxHorizon, super.UnitCounts[:], super.GroupSpan[:], super.GroupHeld[:], super.GroupDefaultRead[:], super.GroupDefaultWrite[:]}
+	case spawn.UltraSPARC:
+		return genTables{ultra.MaxHorizon, ultra.UnitCounts[:], ultra.GroupSpan[:], ultra.GroupHeld[:], ultra.GroupDefaultRead[:], ultra.GroupDefaultWrite[:]}
+	}
+	panic("unknown machine " + machine)
+}
+
+// TestCompiledTablesMatchGenerated checks, for every shipped machine, that
+// the in-process compiled tables (what pipe.FastState probes) agree
+// exactly with the tables in the committed generated packages (what the
+// emitted pipeline_stalls probes). Together with TestVerifyGenerated this
+// pins both fast paths to the same flattening of the SADL description.
+func TestCompiledTablesMatchGenerated(t *testing.T) {
+	for _, machine := range spawn.Machines() {
+		model := spawn.MustLoad(machine)
+		tab := model.Compiled()
+		gen := genTablesFor(machine)
+
+		if gen.maxHorizon != tab.MaxSpan {
+			t.Errorf("%s: MaxHorizon %d, compiled MaxSpan %d", machine, gen.maxHorizon, tab.MaxSpan)
+		}
+		if len(gen.unitCounts) != len(tab.UnitCounts) || len(gen.span) != len(tab.Groups) {
+			t.Fatalf("%s: table shapes differ: %d/%d units, %d/%d groups",
+				machine, len(gen.unitCounts), len(tab.UnitCounts), len(gen.span), len(tab.Groups))
+		}
+		for u, n := range gen.unitCounts {
+			if int32(n) != tab.UnitCounts[u] {
+				t.Errorf("%s: unit %d count %d vs %d", machine, u, n, tab.UnitCounts[u])
+			}
+		}
+		nu := len(tab.UnitCounts)
+		for gid := range gen.span {
+			cg := &tab.Groups[gid]
+			if gen.span[gid] != cg.Span {
+				t.Errorf("%s group %d: span %d vs %d", machine, gid, gen.span[gid], cg.Span)
+			}
+			if len(gen.held[gid]) != len(cg.Held) {
+				t.Errorf("%s group %d: held length %d vs %d", machine, gid, len(gen.held[gid]), len(cg.Held))
+				continue
+			}
+			for k, n := range gen.held[gid] {
+				if int32(n) != cg.Held[k] {
+					t.Errorf("%s group %d: held[%d] (cycle %d unit %d) %d vs %d",
+						machine, gid, k, k/nu, k%nu, n, cg.Held[k])
+				}
+			}
+			if gen.defaultRead[gid] != cg.DefaultRead || gen.defaultWrite[gid] != cg.DefaultWrite {
+				t.Errorf("%s group %d: defaults (%d,%d) vs (%d,%d)", machine, gid,
+					gen.defaultRead[gid], gen.defaultWrite[gid], cg.DefaultRead, cg.DefaultWrite)
+			}
+		}
+	}
+}
+
+// TestCompiledTablesInternal checks the internal consistency of the
+// compiled tables: the sparse NZ list must reconstruct the dense Held
+// vector exactly, every span fits the horizon, and no shipped description
+// produces an infeasible group.
+func TestCompiledTablesInternal(t *testing.T) {
+	for _, machine := range spawn.Machines() {
+		model := spawn.MustLoad(machine)
+		tab := model.Compiled()
+		nu := len(tab.UnitCounts)
+		for gid := range tab.Groups {
+			cg := &tab.Groups[gid]
+			if cg.Span > tab.MaxSpan {
+				t.Errorf("%s group %d: span %d exceeds horizon %d", machine, gid, cg.Span, tab.MaxSpan)
+			}
+			if cg.Infeasible {
+				t.Errorf("%s group %d: marked infeasible", machine, gid)
+			}
+			dense := make([]int32, len(cg.Held))
+			for _, e := range cg.NZ {
+				if e.Num <= 0 || e.Cycle < 0 || e.Cycle >= cg.Span || e.Unit < 0 || e.Unit >= nu {
+					t.Fatalf("%s group %d: NZ entry out of range: %+v", machine, gid, e)
+				}
+				dense[e.Cycle*nu+e.Unit] += int32(e.Num)
+			}
+			for k := range dense {
+				want := cg.Held[k]
+				if want < 0 {
+					want = 0 // dense vector may go negative only if releases outpace acquires; NZ records held>0 only
+				}
+				if dense[k] != want {
+					t.Errorf("%s group %d: NZ reconstructs held[%d]=%d, dense says %d",
+						machine, gid, k, dense[k], cg.Held[k])
+				}
+			}
+		}
+	}
+}
+
+// TestVerifyGenerated is the golden-table test: regenerating each shipped
+// machine's tables must reproduce the committed gen/ files byte for byte
+// (cmd/spawn -check exposes the same check to CI).
+func TestVerifyGenerated(t *testing.T) {
+	if err := spawn.VerifyGenerated(); err != nil {
+		t.Fatalf("committed generated tables are stale: %v\nregenerate with: go generate ./internal/spawn", err)
+	}
+}

@@ -1,0 +1,27 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"eel/internal/sparc"
+)
+
+// RandomBlock returns n straight-line content instructions drawn from the
+// same generator that fills the synthetic benchmarks (realistic dependence
+// chains, loads/stores/ALU mix; fp selects the CFP95-style mix). It exists
+// for the differential stall-oracle fuzzer and the scheduler invariant
+// tests, which need a stream of random-but-legal basic blocks without
+// building a whole executable.
+func RandomBlock(rng *rand.Rand, n int, fp bool) []sparc.Inst {
+	a := sparc.NewAssembler()
+	g := &contentGen{fp: fp, rng: rng}
+	g.emit(a, n)
+	insts, err := a.Finish()
+	if err != nil {
+		// Straight-line content references no labels, so Finish cannot
+		// fail; a failure here is a generator bug worth crashing on.
+		panic(fmt.Sprintf("workload: RandomBlock: %v", err))
+	}
+	return insts
+}
