@@ -1,0 +1,123 @@
+// Command benchdiff compares `go test -bench` output against a committed
+// baseline (BENCH_sched.json), or records a new series into one. The
+// stock benchstat tool is deliberately not a dependency: the comparison
+// CI needs is one ns/op delta table, and the repo builds with the
+// standard library alone.
+//
+//	go test -bench ScheduleBlocks ./internal/core | benchdiff
+//	    advisory comparison against the "current" series
+//	benchdiff -series pr2-baseline bench.txt
+//	    compare against another recorded series
+//	go test -bench ScheduleBlocks -count 5 ./internal/core | benchdiff -update
+//	    record the per-benchmark medians as the new "current" series
+//	benchdiff -fail-over 30 bench.txt
+//	    exit nonzero if any benchmark regressed more than 30%
+//
+// Comparison is advisory by default (always exit 0): shared CI runners
+// are noisy enough that a hard gate on ns/op would flake. -fail-over
+// opts into a threshold for local use.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"eel/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		baseline = flag.String("baseline", "BENCH_sched.json", "committed baseline file")
+		series   = flag.String("series", "current", "series name to compare against or record")
+		update   = flag.Bool("update", false, "record the input as the named series instead of comparing")
+		note     = flag.String("note", "", "with -update: replace the baseline's note")
+		failOver = flag.Float64("fail-over", 0, "exit nonzero if any benchmark regresses more than this percent (0 = advisory)")
+	)
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	} else if flag.NArg() > 1 {
+		return fmt.Errorf("at most one input file (default stdin)")
+	}
+
+	results, cpu, err := bench.ParseGoBench(in)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark lines in input")
+	}
+	results = bench.MedianByName(results)
+
+	if *update {
+		pf, err := bench.ReadPerfFile(*baseline)
+		if os.IsNotExist(err) {
+			pf, err = &bench.PerfFile{}, nil
+		}
+		if err != nil {
+			return err
+		}
+		if pf.Series == nil {
+			pf.Series = make(map[string][]bench.PerfResult)
+		}
+		pf.Series[*series] = results
+		if cpu != "" {
+			pf.CPU = cpu
+		}
+		if *note != "" {
+			pf.Note = *note
+		}
+		f, err := os.Create(*baseline)
+		if err != nil {
+			return err
+		}
+		if err := pf.Write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "benchdiff: recorded %d benchmarks as series %q in %s\n",
+			len(results), *series, *baseline)
+		return nil
+	}
+
+	pf, err := bench.ReadPerfFile(*baseline)
+	if err != nil {
+		return err
+	}
+	base, ok := pf.Series[*series]
+	if !ok {
+		return fmt.Errorf("%s has no series %q", *baseline, *series)
+	}
+	if pf.CPU != "" && cpu != "" && pf.CPU != cpu {
+		fmt.Printf("note: baseline recorded on %q, this run on %q — deltas compare machines, not code\n", pf.CPU, cpu)
+	}
+	deltas := bench.Compare(base, results)
+	fmt.Print(bench.FormatDeltas(deltas))
+	if *failOver > 0 {
+		for _, d := range deltas {
+			if d.Pct > *failOver {
+				return fmt.Errorf("%s regressed %.1f%% (> %.1f%%)", d.Name, d.Pct, *failOver)
+			}
+		}
+	}
+	return nil
+}

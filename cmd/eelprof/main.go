@@ -6,6 +6,7 @@
 //	eelprof -reschedule -o prog.sched prog.exe             # reschedule only
 //	eelprof -run prog.exe                                  # run and report
 //	eelprof -workers 8 -o prog.prof prog.exe               # 8 scheduling workers
+//	eelprof -cachestats -o prog.prof prog.exe              # schedule-cache report
 //
 // With -run the tool executes the (possibly instrumented) program on the
 // functional simulator with the machine's hardware timing model and prints
@@ -46,6 +47,8 @@ func run() error {
 		maxSteps   = flag.Uint64("maxsteps", 1<<30, "execution step limit with -run")
 		workers    = flag.Int("workers", 0, "scheduling worker pool size (0 = GOMAXPROCS)")
 		oracleName = flag.String("oracle", "fast", "stall oracle: fast (compiled tables) or reference (map-based ground truth)")
+		engineName = flag.String("engine", "fast", "scheduling engine: fast (arena/priority-queue) or reference (pairwise rescan)")
+		cacheStats = flag.Bool("cachestats", false, "report schedule-cache statistics after editing")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -54,6 +57,10 @@ func run() error {
 	}
 
 	oracle, err := core.ParseOracle(*oracleName)
+	if err != nil {
+		return err
+	}
+	engine, err := core.ParseEngine(*engineName)
 	if err != nil {
 		return err
 	}
@@ -74,7 +81,7 @@ func run() error {
 	result := x
 	switch {
 	case *reschedule:
-		result, err = ed.Reschedule(model, core.Options{Workers: *workers, Oracle: oracle})
+		result, err = ed.Reschedule(model, core.Options{Workers: *workers, Oracle: oracle, Engine: engine})
 	default:
 		prof = &qpt.SlowProfiler{}
 		opts := eel.Options{}
@@ -83,11 +90,16 @@ func run() error {
 			opts.Schedule = true
 			opts.Sched.Workers = *workers
 			opts.Sched.Oracle = oracle
+			opts.Sched.Engine = engine
 		}
 		result, err = ed.Edit(prof, opts)
 	}
 	if err != nil {
 		return err
+	}
+
+	if *cacheStats {
+		reportCacheStats(ed.Cache())
 	}
 
 	if *out != "" {
@@ -133,4 +145,30 @@ func run() error {
 		return fmt.Errorf("run did not halt within %d steps", *maxSteps)
 	}
 	return nil
+}
+
+// reportCacheStats prints the schedule cache's effectiveness: aggregate
+// hit rate, occupancy against capacity, and how evenly the key space
+// spread over the lock shards (max/mean shard occupancy).
+func reportCacheStats(c *core.Cache) {
+	hits, misses := c.Stats()
+	total := hits + misses
+	rate := 0.0
+	if total > 0 {
+		rate = 100 * float64(hits) / float64(total)
+	}
+	shards := c.ShardStats()
+	maxLen, used := 0, 0
+	for _, sh := range shards {
+		if sh.Len > maxLen {
+			maxLen = sh.Len
+		}
+		if sh.Len > 0 {
+			used++
+		}
+	}
+	mean := float64(c.Len()) / float64(len(shards))
+	fmt.Fprintf(os.Stderr,
+		"eelprof: schedule cache: %d/%d blocks, %d hits / %d misses (%.1f%% hit rate), %d/%d shards occupied (max %d, mean %.1f entries)\n",
+		c.Len(), c.Capacity(), hits, misses, rate, used, len(shards), maxLen, mean)
 }

@@ -8,7 +8,9 @@
 //
 // -insts scales each benchmark's dynamic length (default 600k); larger
 // runs are slower but less noisy. -workers sizes the scheduling worker
-// pool (0 = GOMAXPROCS); it changes wall-clock time only, never a table.
+// pool (0 = GOMAXPROCS), and -oracle/-engine select the stall oracle and
+// scheduling engine; all three change wall-clock time only, never a
+// table. -json emits the table as JSON instead of the paper's format.
 package main
 
 import (
@@ -42,10 +44,16 @@ func run() error {
 		validate   = flag.Bool("validate", false, "cross-check profile counts between runs")
 		workers    = flag.Int("workers", 0, "scheduling worker pool size (0 = GOMAXPROCS)")
 		oracleName = flag.String("oracle", "fast", "stall oracle: fast (compiled tables) or reference (map-based ground truth)")
+		engineName = flag.String("engine", "fast", "scheduling engine: fast (arena/priority-queue) or reference (pairwise rescan)")
+		jsonOut    = flag.Bool("json", false, "emit the table as JSON instead of the paper's text format")
 	)
 	flag.Parse()
 
 	oracle, err := core.ParseOracle(*oracleName)
+	if err != nil {
+		return err
+	}
+	engine, err := core.ParseEngine(*engineName)
 	if err != nil {
 		return err
 	}
@@ -69,6 +77,7 @@ func run() error {
 			ValidateCounts:     *validate,
 			Workers:            *workers,
 			Oracle:             oracle,
+			Engine:             engine,
 		}
 	}
 	configs := map[int]bench.TableConfig{
@@ -100,6 +109,9 @@ func run() error {
 	t, err := bench.RunTable(cfg)
 	if err != nil {
 		return err
+	}
+	if *jsonOut {
+		return t.WriteJSON(os.Stdout)
 	}
 	fmt.Printf("Table %d: %s", *table, t.String())
 	return nil

@@ -6,7 +6,9 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"strings"
 
 	"eel/internal/core"
@@ -44,6 +46,9 @@ type TableConfig struct {
 	// Workers it never changes a table, only editing wall-clock time: the
 	// fast and reference oracles schedule identically.
 	Oracle core.Oracle
+	// Engine selects the scheduling engine (see core.Options.Engine).
+	// Also wall-clock-only: both engines schedule identically.
+	Engine core.Engine
 }
 
 func (c TableConfig) withDefaults() TableConfig {
@@ -58,6 +63,9 @@ func (c TableConfig) withDefaults() TableConfig {
 	}
 	if c.Oracle != core.OracleFast && c.Sched.Oracle == core.OracleFast {
 		c.Sched.Oracle = c.Oracle
+	}
+	if c.Engine != core.EngineFast && c.Sched.Engine == core.EngineFast {
+		c.Sched.Engine = c.Engine
 	}
 	return c
 }
@@ -259,6 +267,15 @@ func (t *Table) Averages(fp bool) (instRatio, schedRatio, pctHidden float64, n i
 		pctHidden /= float64(n)
 	}
 	return instRatio, schedRatio, pctHidden, n
+}
+
+// WriteJSON renders the table as indented JSON — the machine-readable
+// counterpart of String, for archiving experiment runs next to the
+// BENCH_* perf trajectory.
+func (t *Table) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
 }
 
 // String renders the table in the paper's format.

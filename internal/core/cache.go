@@ -2,7 +2,6 @@ package core
 
 import (
 	"sync"
-	"sync/atomic"
 
 	"eel/internal/sparc"
 	"eel/internal/spawn"
@@ -14,23 +13,42 @@ import (
 // collision degrades to a miss instead of a wrong schedule. One Cache
 // may be shared by schedulers for different machines and options — the
 // seed keeps their entries apart — and by concurrent ScheduleBlocks
-// workers.
+// workers: the key space is split over power-of-two shards, each with
+// its own lock, LRU list and hit/miss counters, so parallel workers
+// stop serializing on a single cache mutex.
 type Cache struct {
-	mu      sync.Mutex
-	cap     int
-	entries map[uint64]cacheEntry
+	shards []cacheShard
+	mask   uint64
+	cap    int
+}
 
-	hits, misses atomic.Uint64
+// cacheShard is one lock's worth of the cache: a map for lookup and an
+// intrusive doubly-linked list for LRU order (head = most recent).
+// Capacities are fixed per shard so the global entry count can never
+// exceed the cache capacity.
+type cacheShard struct {
+	mu           sync.Mutex
+	cap          int
+	entries      map[uint64]*cacheEntry
+	head, tail   *cacheEntry
+	hits, misses uint64
+	_            [24]byte // soften false sharing between neighboring shards
 }
 
 type cacheEntry struct {
-	block []sparc.Inst // private copy of the input, for collision checks
-	out   []sparc.Inst // private copy of the schedule
+	key        uint64
+	block      []sparc.Inst // private copy of the input, for collision checks
+	out        []sparc.Inst // private copy of the schedule
+	prev, next *cacheEntry
 }
 
 // DefaultCacheCapacity bounds a NewCache(0) cache. Hot executables
 // repeat far fewer distinct blocks than this.
 const DefaultCacheCapacity = 4096
+
+// defaultCacheShards is sized for the scheduler's worker pool; it drops
+// until every shard holds at least one entry on tiny caches.
+const defaultCacheShards = 16
 
 // NewCache returns a scheduling-result cache holding at most capacity
 // blocks (0 selects DefaultCacheCapacity).
@@ -38,53 +56,167 @@ func NewCache(capacity int) *Cache {
 	if capacity <= 0 {
 		capacity = DefaultCacheCapacity
 	}
-	return &Cache{cap: capacity, entries: make(map[uint64]cacheEntry)}
+	nshards := defaultCacheShards
+	for nshards > 1 && nshards > capacity {
+		nshards >>= 1
+	}
+	c := &Cache{
+		shards: make([]cacheShard, nshards),
+		mask:   uint64(nshards - 1),
+		cap:    capacity,
+	}
+	for i := range c.shards {
+		per := capacity / nshards
+		if i < capacity%nshards {
+			per++
+		}
+		c.shards[i].cap = per
+		c.shards[i].entries = make(map[uint64]*cacheEntry)
+	}
+	return c
 }
 
+// shardOf maps a block key to its shard. Keys are FNV-1a hashes, so the
+// folded low bits are already well distributed.
+func (c *Cache) shardOf(k uint64) *cacheShard {
+	return &c.shards[(k^k>>32)&c.mask]
+}
+
+// Capacity returns the maximum number of blocks the cache can hold.
+func (c *Cache) Capacity() int { return c.cap }
+
+// Shards returns the number of independently locked shards.
+func (c *Cache) Shards() int { return len(c.shards) }
+
 // Stats returns the number of lookups served from the cache and the
-// number that missed.
+// number that missed, summed over all shards.
 func (c *Cache) Stats() (hits, misses uint64) {
-	return c.hits.Load(), c.misses.Load()
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		hits += sh.hits
+		misses += sh.misses
+		sh.mu.Unlock()
+	}
+	return hits, misses
 }
 
 // Len returns the number of cached blocks.
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// ShardStats describes one shard's occupancy and traffic, for cache
+// effectiveness reporting (cmd/eelprof).
+type ShardStats struct {
+	Len, Cap     int
+	Hits, Misses uint64
+}
+
+// ShardStats returns per-shard occupancy and hit/miss counts.
+func (c *Cache) ShardStats() []ShardStats {
+	out := make([]ShardStats, len(c.shards))
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		out[i] = ShardStats{Len: len(sh.entries), Cap: sh.cap, Hits: sh.hits, Misses: sh.misses}
+		sh.mu.Unlock()
+	}
+	return out
 }
 
 func (c *Cache) get(seed uint64, block []sparc.Inst) ([]sparc.Inst, bool) {
 	k := blockHash(seed, block)
-	c.mu.Lock()
-	e, ok := c.entries[k]
-	c.mu.Unlock()
+	sh := c.shardOf(k)
+	sh.mu.Lock()
+	e, ok := sh.entries[k]
 	if !ok || !blocksEqual(e.block, block) {
-		c.misses.Add(1)
+		sh.misses++
+		sh.mu.Unlock()
 		return nil, false
 	}
-	c.hits.Add(1)
+	sh.hits++
+	sh.moveToFront(e)
 	// Entries are immutable once stored; hand the caller its own copy so
 	// later in-place edits cannot corrupt the cache.
-	return append([]sparc.Inst(nil), e.out...), true
+	out := append([]sparc.Inst(nil), e.out...)
+	sh.mu.Unlock()
+	return out, true
 }
 
 func (c *Cache) put(seed uint64, block, out []sparc.Inst) {
-	e := cacheEntry{
-		block: append([]sparc.Inst(nil), block...),
-		out:   append([]sparc.Inst(nil), out...),
-	}
 	k := blockHash(seed, block)
-	c.mu.Lock()
-	if len(c.entries) >= c.cap {
-		// Evict an arbitrary entry; output never depends on cache content.
-		for victim := range c.entries {
-			delete(c.entries, victim)
-			break
-		}
+	blockCopy := append([]sparc.Inst(nil), block...)
+	outCopy := append([]sparc.Inst(nil), out...)
+	sh := c.shardOf(k)
+	sh.mu.Lock()
+	if e, ok := sh.entries[k]; ok {
+		// Same key, possibly a colliding block: last write wins, like the
+		// unsharded map it replaces. Output never depends on cache content.
+		e.block, e.out = blockCopy, outCopy
+		sh.moveToFront(e)
+		sh.mu.Unlock()
+		return
 	}
-	c.entries[k] = e
-	c.mu.Unlock()
+	if len(sh.entries) >= sh.cap {
+		sh.evictOldest()
+	}
+	e := &cacheEntry{key: k, block: blockCopy, out: outCopy}
+	sh.entries[k] = e
+	sh.pushFront(e)
+	sh.mu.Unlock()
+}
+
+// pushFront links e as the most recently used entry. Callers hold mu.
+func (sh *cacheShard) pushFront(e *cacheEntry) {
+	e.prev = nil
+	e.next = sh.head
+	if sh.head != nil {
+		sh.head.prev = e
+	}
+	sh.head = e
+	if sh.tail == nil {
+		sh.tail = e
+	}
+}
+
+// moveToFront marks e as the most recently used entry. Callers hold mu.
+func (sh *cacheShard) moveToFront(e *cacheEntry) {
+	if sh.head == e {
+		return
+	}
+	// Unlink (e is not the head, so e.prev != nil).
+	e.prev.next = e.next
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		sh.tail = e.prev
+	}
+	e.prev = nil
+	e.next = sh.head
+	sh.head.prev = e
+	sh.head = e
+}
+
+// evictOldest removes the least recently used entry. Callers hold mu and
+// guarantee the shard is non-empty.
+func (sh *cacheShard) evictOldest() {
+	victim := sh.tail
+	delete(sh.entries, victim.key)
+	sh.tail = victim.prev
+	if sh.tail != nil {
+		sh.tail.next = nil
+	} else {
+		sh.head = nil
+	}
+	victim.prev, victim.next = nil, nil
 }
 
 func blocksEqual(a, b []sparc.Inst) bool {
@@ -122,9 +254,13 @@ func cacheSeed(model *spawn.Model, opts Options) uint64 {
 	}
 	// The two oracles produce identical schedules, but keeping their cache
 	// entries apart means a fast-oracle regression can never leak results
-	// into a reference-oracle pass (or vice versa).
+	// into a reference-oracle pass (or vice versa). Likewise for the two
+	// scheduling engines.
 	if opts.Oracle == OracleReference {
 		bits |= 8
+	}
+	if opts.Engine == EngineReference {
+		bits |= 16
 	}
 	h ^= bits
 	h *= fnvPrime

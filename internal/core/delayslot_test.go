@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+
+	"eel/internal/sparc"
+)
+
+// TestDelaySlotLegal pins the delay-slot predicate case by case. The
+// scheduler only consults it for the instruction directly preceding the
+// CTI, so each row is a (CTI, candidate) pair. Annulled branches never
+// reach the predicate — scheduleBlockRaw returns those blocks unchanged
+// — so the Annul row documents that the predicate itself ignores the
+// bit rather than that annulled slots get filled.
+func TestDelaySlotLegal(t *testing.T) {
+	var (
+		bne     = sparc.NewBranch(sparc.CondNE, 12)
+		ba      = sparc.NewBranch(sparc.CondA, 12)
+		fbne    = sparc.NewFBranch(sparc.CondNE, 12)
+		call    = sparc.NewCall(100)
+		retl    = sparc.NewJmpl(sparc.G0, sparc.O7, 8)
+		jmplG6  = sparc.NewJmpl(sparc.G5, sparc.G6, 0)
+		add     = sparc.NewALU(sparc.OpAdd, sparc.G3, sparc.G1, sparc.G2)
+		subcc   = sparc.NewALUImm(sparc.OpSubcc, sparc.G0, sparc.G1, 1)
+		fcmp    = sparc.Inst{Op: sparc.OpFcmps, Rs1: sparc.F0, Rs2: sparc.F0 + 2}
+		ld      = sparc.NewLoad(sparc.OpLd, sparc.G1, sparc.O0, 0)
+		st      = sparc.NewStore(sparc.OpSt, sparc.G1, sparc.O0, 0)
+		useO7   = sparc.NewALUImm(sparc.OpAdd, sparc.G2, sparc.O7, 4)
+		defO7   = sparc.NewALU(sparc.OpAdd, sparc.O7, sparc.G1, sparc.G2)
+		defG6   = sparc.NewALUImm(sparc.OpAdd, sparc.G6, sparc.G1, 0)
+		useG5   = sparc.NewALUImm(sparc.OpAdd, sparc.G7, sparc.G5, 0)
+		trap    = sparc.NewTrap(1)
+		annulNE = func() sparc.Inst { b := bne; b.Annul = true; return b }()
+	)
+	cases := []struct {
+		name      string
+		cti, cand sparc.Inst
+		want      bool
+	}{
+		// Independent work slides into the slot.
+		{"branch + independent alu", bne, add, true},
+		{"branch + load", bne, ld, true},
+		{"branch + store", bne, st, true},
+
+		// The CTI reads its operands before the slot executes, so the
+		// candidate must not define them.
+		{"cond branch + icc producer", bne, subcc, false},
+		{"always branch ignores icc", ba, subcc, true},
+		{"fp branch + fcc producer", fbne, fcmp, false},
+		{"fp branch + icc producer", fbne, subcc, true},
+		{"indirect jump + target-register producer", jmplG6, defG6, false},
+
+		// Nor may it touch what the CTI defines (%o7 of call, rd of jmpl).
+		{"call + o7 reader", call, useO7, false},
+		{"call + o7 writer", call, defO7, false},
+		{"call + independent alu", call, add, true},
+		{"retl + independent alu", retl, add, true},
+		{"retl + o7 writer", retl, defO7, false},
+		{"jmpl + rd reader", jmplG6, useG5, false},
+
+		// Control transfers never nest into a delay slot.
+		{"branch + branch", bne, ba, false},
+		{"branch + call", bne, call, false},
+		{"branch + jmpl", bne, retl, false},
+		{"branch + trap", bne, trap, false},
+
+		// The predicate is annul-blind; the pin happens upstream.
+		{"annulled branch + independent alu", annulNE, add, true},
+	}
+	for _, c := range cases {
+		if got := delaySlotLegal(c.cti, c.cand); got != c.want {
+			t.Errorf("%s: delaySlotLegal(%v, %v) = %v, want %v", c.name, c.cti, c.cand, got, c.want)
+		}
+	}
+}

@@ -51,14 +51,23 @@ func suiteBlocks(t *testing.T, machine spawn.Machine) map[string][][]sparc.Inst 
 //   - cost: the scheduled block never costs more modeled cycles than the
 //     original;
 //   - oracle equivalence: the fast and reference oracles produce
-//     byte-identical schedules.
+//     byte-identical schedules;
+//   - engine equivalence: the fast arena/priority-queue engine matches
+//     the reference pairwise-builder/rescan engine, under both oracles.
 func TestScheduleInvariants(t *testing.T) {
 	for _, machine := range spawn.Machines() {
 		machine := machine
 		t.Run(string(machine), func(t *testing.T) {
 			model := spawn.MustLoad(machine)
 			fast := core.New(model, core.Options{})
-			ref := core.New(model, core.Options{Oracle: core.OracleReference})
+			variants := []struct {
+				name string
+				s    *core.Scheduler
+			}{
+				{"engine=reference/oracle=fast", core.New(model, core.Options{Engine: core.EngineReference})},
+				{"engine=fast/oracle=reference", core.New(model, core.Options{Oracle: core.OracleReference})},
+				{"engine=reference/oracle=reference", core.New(model, core.Options{Engine: core.EngineReference, Oracle: core.OracleReference})},
+			}
 			nblocks := 0
 			for name, blocks := range suiteBlocks(t, machine) {
 				for i, block := range blocks {
@@ -67,12 +76,14 @@ func TestScheduleInvariants(t *testing.T) {
 					if err != nil {
 						t.Fatalf("%s: schedule: %v", label, err)
 					}
-					rsched, err := ref.ScheduleBlock(block)
-					if err != nil {
-						t.Fatalf("%s: reference schedule: %v", label, err)
-					}
-					if !instsEqual(sched, rsched) {
-						t.Fatalf("%s: fast and reference schedules differ:\nfast: %v\nref:  %v", label, sched, rsched)
+					for _, v := range variants {
+						vsched, err := v.s.ScheduleBlock(block)
+						if err != nil {
+							t.Fatalf("%s: %s schedule: %v", label, v.name, err)
+						}
+						if !instsEqual(sched, vsched) {
+							t.Fatalf("%s: %s schedule differs from default:\ndefault: %v\nvariant: %v", label, v.name, sched, vsched)
+						}
 					}
 					if err := fast.VerifyDependences(block, sched); err != nil {
 						t.Fatalf("%s: %v\norig:  %v\nsched: %v", label, err, block, sched)

@@ -29,8 +29,16 @@ func (s *Scheduler) ScheduleBlocks(blocks [][]sparc.Inst) ([][]sparc.Inst, error
 		workers = len(blocks)
 	}
 	if s.factory == nil || workers <= 1 {
+		w := s.seq
+		if s.factory != nil {
+			// Draw private state from the pool so concurrent callers of a
+			// shared scheduler never contend on s.seq even when each call
+			// runs sequentially.
+			w = s.pool.Get().(*worker)
+			defer s.pool.Put(w)
+		}
 		for i, b := range blocks {
-			sb, err := s.scheduleBlockOn(s.state, b)
+			sb, err := s.scheduleBlockOn(w, b)
 			if err != nil {
 				return nil, fmt.Errorf("core: block %d: %w", i, err)
 			}
@@ -50,14 +58,14 @@ func (s *Scheduler) ScheduleBlocks(blocks [][]sparc.Inst) ([][]sparc.Inst, error
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			p := s.pool.Get().(Pipeline)
-			defer s.pool.Put(p)
+			w := s.pool.Get().(*worker)
+			defer s.pool.Put(w)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(blocks) {
 					return
 				}
-				sb, err := s.scheduleBlockOn(p, blocks[i])
+				sb, err := s.scheduleBlockOn(w, blocks[i])
 				if err != nil {
 					// Keep draining so the reported error is the
 					// deterministic lowest-indexed failure.

@@ -31,6 +31,23 @@ func BenchmarkScheduleBlocks(b *testing.B) {
 	}
 }
 
+// BenchmarkScheduleBlocksReferenceEngine pins the original pairwise
+// builder and full-rescan ready loop, the baseline the fast engine's
+// speedup in BENCH_sched.json is measured against. Kept as a separate
+// benchmark so the BenchmarkScheduleBlocks series stays comparable
+// across the perf trajectory.
+func BenchmarkScheduleBlocksReferenceEngine(b *testing.B) {
+	model := spawn.MustLoad(spawn.UltraSPARC)
+	blocks := randomBlocks(rand.New(rand.NewSource(1)), 2000)
+	s := New(model, Options{Workers: 1, Engine: EngineReference})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ScheduleBlocks(blocks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkScheduleBlocksCached measures the hot-block cache: the same
 // executable edited repeatedly reschedules nothing.
 func BenchmarkScheduleBlocksCached(b *testing.B) {

@@ -145,14 +145,25 @@ func TestScheduleBlocksReportsLowestErrorIndex(t *testing.T) {
 	}
 	blocks[5] = bad
 	blocks[17] = bad
-	for _, workers := range []int{1, 8} {
-		s := New(model, Options{Workers: workers})
-		_, err := s.ScheduleBlocks(blocks)
-		if err == nil {
-			t.Fatalf("workers=%d: bad block not rejected", workers)
-		}
-		if !strings.Contains(err.Error(), "block 5") {
-			t.Fatalf("workers=%d: error does not name the lowest failing block: %v", workers, err)
+	// The lowest-indexed failing block must win under every pool shape —
+	// sequential, odd sizes that leave stragglers, GOMAXPROCS — and under
+	// both engines, so the error a user sees never depends on timing.
+	var want string
+	for _, engine := range []Engine{EngineFast, EngineReference} {
+		for _, workers := range []int{1, 2, 3, 4, 8, 0} {
+			s := New(model, Options{Workers: workers, Engine: engine})
+			_, err := s.ScheduleBlocks(blocks)
+			if err == nil {
+				t.Fatalf("engine=%s workers=%d: bad block not rejected", engine, workers)
+			}
+			if !strings.Contains(err.Error(), "block 5") {
+				t.Fatalf("engine=%s workers=%d: error does not name the lowest failing block: %v", engine, workers, err)
+			}
+			if want == "" {
+				want = err.Error()
+			} else if err.Error() != want {
+				t.Fatalf("engine=%s workers=%d: error differs across configurations:\n%q\nvs\n%q", engine, workers, err, want)
+			}
 		}
 	}
 }

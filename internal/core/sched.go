@@ -68,6 +68,42 @@ func ParseOracle(s string) (Oracle, error) {
 	return 0, fmt.Errorf("core: unknown oracle %q (want fast or reference)", s)
 }
 
+// Engine selects the list-scheduling implementation, orthogonally to the
+// stall oracle: Oracle picks what answers a probe, Engine picks how many
+// probes the scheduler makes.
+type Engine int
+
+const (
+	// EngineFast is the arena-based scheduler: dependence graph built
+	// through per-register writer/reader tables into flat per-worker
+	// scratch arenas (depgraph.go), pass 2 driven by an indexed priority
+	// queue over monotone earliest-issue bounds (readyq.go). The default.
+	EngineFast Engine = iota
+	// EngineReference is the original pairwise O(n²) builder and
+	// full-rescan ready loop — the ground truth EngineFast is
+	// differentially tested against, block for block.
+	EngineReference
+)
+
+// String names the engine as the CLIs' -engine flag spells it.
+func (e Engine) String() string {
+	if e == EngineReference {
+		return "reference"
+	}
+	return "fast"
+}
+
+// ParseEngine converts an -engine flag value.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "fast", "":
+		return EngineFast, nil
+	case "reference":
+		return EngineReference, nil
+	}
+	return 0, fmt.Errorf("core: unknown engine %q (want fast or reference)", s)
+}
+
 // Options tune the scheduler. The zero value is the paper's configuration.
 type Options struct {
 	// ConservativeMem makes instrumentation memory references conflict
@@ -85,6 +121,13 @@ type Options struct {
 	// byte-identical schedules — the equivalence is fuzzed in
 	// internal/pipe and enforced in CI.
 	Oracle Oracle
+	// Engine selects the scheduling implementation (the fast arena-based
+	// path by default; the original pairwise builder and rescan loop for
+	// A/B checks). Both produce byte-identical schedules; the fast
+	// engine's soundness rests on oracle monotonicity, so schedulers
+	// driven by custom oracles (NewWith, NewWithFactory) always run the
+	// reference engine regardless of this option.
+	Engine Engine
 	// Workers bounds the worker pool used by ScheduleBlocks. 0 means
 	// runtime.GOMAXPROCS(0); negative forces the sequential path. The
 	// output is byte-identical regardless of the worker count: blocks
@@ -130,11 +173,20 @@ type Pipeline interface {
 // with New or NewWithFactory.
 type Scheduler struct {
 	model   *spawn.Model
-	state   Pipeline        // sequential-path oracle
+	seq     *worker         // sequential-path oracle + scratch
 	factory func() Pipeline // nil: oracle cannot be replicated for workers
-	pool    sync.Pool       // of Pipeline, fed by factory
+	pool    sync.Pool       // of *worker, fed by factory
 	opts    Options
 	cacheID uint64 // cache key seed; 0 when results are uncacheable
+	fastOK  bool   // oracle known monotone, EngineFast allowed
+}
+
+// worker bundles one goroutine's private scheduling state: a stall
+// oracle plus the fast engine's scratch arenas. Workers travel through
+// the scheduler's pool so the arenas are recycled across batches.
+type worker struct {
+	p  Pipeline
+	sc scratch
 }
 
 // New returns a scheduler driven by the machine's SADL pipeline model —
@@ -146,8 +198,12 @@ func New(model *spawn.Model, opts Options) *Scheduler {
 	if opts.Oracle == OracleReference {
 		factory = func() Pipeline { return pipe.NewState(model) }
 	}
-	s := &Scheduler{model: model, state: factory(), factory: factory, opts: opts}
-	s.pool.New = func() any { return factory() }
+	s := &Scheduler{model: model, seq: &worker{p: factory()}, factory: factory, opts: opts}
+	s.pool.New = func() any { return &worker{p: factory()} }
+	// Both pipe oracles are monotone (Issue only adds unit usage, raises
+	// register horizons and advances the clock), which is what the fast
+	// engine's cached-probe lower bounds rely on.
+	s.fastOK = true
 	// Only the default oracle is cacheable: the model name plus the
 	// options that change schedules fully determine the output.
 	s.cacheID = cacheSeed(model, opts)
@@ -157,17 +213,20 @@ func New(model *spawn.Model, opts Options) *Scheduler {
 // NewWith returns a scheduler driven by a custom stall oracle (e.g. a
 // hardware model with grouping rules the SADL description omits). The
 // oracle cannot be replicated, so ScheduleBlocks degrades to the
-// sequential path; use NewWithFactory to keep the parallel path.
+// sequential path; use NewWithFactory to keep the parallel path. Custom
+// oracles are not known to be monotone, so these schedulers run the
+// reference engine.
 func NewWith(p Pipeline, model *spawn.Model, opts Options) *Scheduler {
-	return &Scheduler{model: model, state: p, opts: opts}
+	return &Scheduler{model: model, seq: &worker{p: p}, opts: opts}
 }
 
 // NewWithFactory returns a scheduler whose stall oracles come from
 // factory, one per worker goroutine, so ScheduleBlocks can run blocks
-// concurrently against custom pipelines (e.g. sim.HWPipeline).
+// concurrently against custom pipelines (e.g. sim.HWPipeline). Like
+// NewWith, it runs the reference engine.
 func NewWithFactory(factory func() Pipeline, model *spawn.Model, opts Options) *Scheduler {
-	s := &Scheduler{model: model, state: factory(), factory: factory, opts: opts}
-	s.pool.New = func() any { return factory() }
+	s := &Scheduler{model: model, seq: &worker{p: factory()}, factory: factory, opts: opts}
+	s.pool.New = func() any { return &worker{p: factory()} }
 	return s
 }
 
@@ -199,12 +258,12 @@ type edge struct {
 // model more cycles than the original order, the original is returned
 // instead (see guardedSchedule), so scheduling never costs cycles.
 func (s *Scheduler) ScheduleBlock(block []sparc.Inst) ([]sparc.Inst, error) {
-	return s.scheduleBlockOn(s.state, block)
+	return s.scheduleBlockOn(s.seq, block)
 }
 
-// scheduleBlockOn is ScheduleBlock against an explicit stall oracle, so
-// worker goroutines can schedule with private pipeline states.
-func (s *Scheduler) scheduleBlockOn(p Pipeline, block []sparc.Inst) ([]sparc.Inst, error) {
+// scheduleBlockOn is ScheduleBlock against an explicit worker, so
+// goroutines can schedule with private pipeline states and arenas.
+func (s *Scheduler) scheduleBlockOn(w *worker, block []sparc.Inst) ([]sparc.Inst, error) {
 	if s.opts.NoReorder || len(block) == 0 {
 		return block, nil
 	}
@@ -212,24 +271,28 @@ func (s *Scheduler) scheduleBlockOn(p Pipeline, block []sparc.Inst) ([]sparc.Ins
 		if out, ok := c.get(s.cacheID, block); ok {
 			return out, nil
 		}
-		out, err := s.guardedSchedule(p, block)
+		out, err := s.guardedSchedule(w, block)
 		if err != nil {
 			return nil, err
 		}
 		c.put(s.cacheID, block, out)
 		return out, nil
 	}
-	return s.guardedSchedule(p, block)
+	return s.guardedSchedule(w, block)
 }
 
-// scheduleBlockRaw is one unguarded scheduling pass over a block.
-func (s *Scheduler) scheduleBlockRaw(p Pipeline, block []sparc.Inst) ([]sparc.Inst, error) {
+// scheduleBlockRaw is one unguarded scheduling pass over a block. The
+// returned cost is the modeled cycle count of the output sequence when
+// the pass computed it as a side effect (non-CTI blocks on the fast
+// engine, whose issue order is the output order), or -1 when the caller
+// must measure it.
+func (s *Scheduler) scheduleBlockRaw(w *worker, block []sparc.Inst) ([]sparc.Inst, int64, error) {
 	body := block
 	var cti sparc.Inst
 	hasCTI := false
 	if n := len(block); n >= 2 && block[n-2].IsCTI() {
 		if block[n-2].Annul {
-			return block, nil
+			return block, -1, nil
 		}
 		hasCTI = true
 		cti = block[n-2]
@@ -239,27 +302,96 @@ func (s *Scheduler) scheduleBlockRaw(p Pipeline, block []sparc.Inst) ([]sparc.In
 			body = append(body, block[n-1])
 		}
 	} else if n >= 1 && block[n-1].IsCTI() {
-		return nil, fmt.Errorf("core: block ends with a CTI but no delay slot")
+		return nil, -1, fmt.Errorf("core: block ends with a CTI but no delay slot")
 	}
 
-	scheduled, err := s.scheduleStraightLine(p, body)
+	scheduled, cost, err := s.scheduleStraightLine(w, body)
 	if err != nil {
-		return nil, err
+		return nil, -1, err
 	}
+	sc := &w.sc
+	prepared := cost >= 0 && sc.prepOK // this block ran the fast prepared path
 	if !hasCTI {
-		return scheduled, nil
+		if prepared {
+			// The original order is the body itself: an identity mapping
+			// lets the guard replay it through the prepared inputs.
+			sc.beforeIdx = sc.beforeIdx[:0]
+			for i := range block {
+				sc.beforeIdx = append(sc.beforeIdx, int32(i))
+			}
+		}
+		return scheduled, cost, nil
 	}
 
+	// Reinserting the CTI changes the issue sequence, so the straight-line
+	// cost no longer describes the output.
 	out := make([]sparc.Inst, 0, len(scheduled)+2)
+	refilled := false
 	// Fill the delay slot with the last scheduled instruction when legal.
 	if k := len(scheduled); k > 0 && delaySlotLegal(cti, scheduled[k-1]) {
 		out = append(out, scheduled[:k-1]...)
 		out = append(out, cti, scheduled[k-1])
-		return out, nil
+		refilled = true
+	} else {
+		out = append(out, scheduled...)
+		out = append(out, cti, sparc.NewNop())
 	}
-	out = append(out, scheduled...)
-	out = append(out, cti, sparc.NewNop())
-	return out, nil
+	if !prepared || blocksEqual(out, block) {
+		// Unchanged blocks skip both cost replays in guardedSchedule, so
+		// pricing here would be wasted (and could reject a block whose CTI
+		// the model cannot place, which an unchanged schedule never needs).
+		return out, -1, nil
+	}
+
+	// Prepare the two instructions outside the body — the CTI and a nop —
+	// then replay the output through the prepared inputs to price it, and
+	// record the mapping that prices the original order the same way.
+	pp := w.p.(preparedPipeline)
+	nb := int32(len(scheduled))
+	ctiSlot, nopSlot := nb, nb+1
+	sc.prep = sc.prep[:nb]
+	for _, extra := range [...]sparc.Inst{cti, sparc.NewNop()} {
+		p, err := pp.Prepare(extra)
+		if err != nil {
+			return nil, -1, err
+		}
+		sc.prep = append(sc.prep, p)
+	}
+	sc.costIdx = sc.costIdx[:0]
+	if refilled {
+		sc.costIdx = append(sc.costIdx, sc.perm[:nb-1]...)
+		sc.costIdx = append(sc.costIdx, ctiSlot, sc.perm[nb-1])
+	} else {
+		sc.costIdx = append(sc.costIdx, sc.perm...)
+		sc.costIdx = append(sc.costIdx, ctiSlot, nopSlot)
+	}
+	after, err := s.sequenceCostIdx(w, out, sc.costIdx)
+	if err != nil {
+		return nil, -1, err
+	}
+	// Original order: the leading instructions map to themselves, then the
+	// CTI, then the delay instruction (the last body slot, or — when the
+	// original delay slot held a nop that stayed out of the body — a slot
+	// prepared from that exact instruction: IsNop also covers sethi-to-%g0
+	// forms, which need not time like the canonical nop).
+	sc.beforeIdx = sc.beforeIdx[:0]
+	for i := 0; i < len(block)-2; i++ {
+		sc.beforeIdx = append(sc.beforeIdx, int32(i))
+	}
+	sc.beforeIdx = append(sc.beforeIdx, ctiSlot)
+	if dly := block[len(block)-1]; !dly.IsNop() {
+		sc.beforeIdx = append(sc.beforeIdx, nb-1)
+	} else if dly == sparc.NewNop() {
+		sc.beforeIdx = append(sc.beforeIdx, nopSlot)
+	} else {
+		p, err := pp.Prepare(dly)
+		if err != nil {
+			return nil, -1, err
+		}
+		sc.prep = append(sc.prep, p)
+		sc.beforeIdx = append(sc.beforeIdx, nopSlot+1)
+	}
+	return out, after, nil
 }
 
 // guardedSchedule runs scheduleBlockRaw and keeps the result only if it
@@ -268,23 +400,61 @@ func (s *Scheduler) scheduleBlockRaw(p Pipeline, block []sparc.Inst) ([]sparc.In
 // a later instruction needs and lengthen the block. The paper's scheduler
 // exists to hide instrumentation overhead, so a schedule that models
 // worse than leaving the block alone is never worth emitting.
-func (s *Scheduler) guardedSchedule(p Pipeline, block []sparc.Inst) ([]sparc.Inst, error) {
-	out, err := s.scheduleBlockRaw(p, block)
+func (s *Scheduler) guardedSchedule(w *worker, block []sparc.Inst) ([]sparc.Inst, error) {
+	out, after, err := s.scheduleBlockRaw(w, block)
 	if err != nil {
 		return nil, err
 	}
-	before, err := s.sequenceCost(p, block)
+	// An unchanged sequence models exactly the original's cycles, so the
+	// guard trivially keeps it — no cost passes needed. (Compiler-ordered
+	// code frequently reschedules to itself: original index is the final
+	// tie-break.)
+	if blocksEqual(out, block) {
+		return out, nil
+	}
+	var before int64
+	if after >= 0 && w.sc.prepOK {
+		// A known after-cost means the fast engine priced the output
+		// through prepared inputs and recorded beforeIdx, the mapping
+		// from each original-order position to its prepared slot.
+		before, err = s.sequenceCostIdx(w, block, w.sc.beforeIdx)
+	} else {
+		before, err = s.sequenceCost(w.p, block)
+	}
 	if err != nil {
 		return nil, err
 	}
-	after, err := s.sequenceCost(p, out)
-	if err != nil {
-		return nil, err
+	if after < 0 {
+		after, err = s.sequenceCost(w.p, out)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if after > before {
 		return block, nil
 	}
 	return out, nil
+}
+
+// sequenceCostIdx is sequenceCost through the worker's prepared placement
+// inputs: idx[i] names the scratch prep slot holding insts[i]'s resolved
+// group and register accesses.
+func (s *Scheduler) sequenceCostIdx(w *worker, insts []sparc.Inst, idx []int32) (int64, error) {
+	pp := w.p.(preparedPipeline)
+	sc := &w.sc
+	w.p.Reset()
+	var end int64
+	for i, inst := range insts {
+		p := &sc.prep[idx[i]]
+		_, issue, err := pp.IssuePrepared(p, inst)
+		if err != nil {
+			return 0, err
+		}
+		if e := issue + int64(p.Group().Cycles); e > end {
+			end = e
+		}
+	}
+	return end, nil
 }
 
 // sequenceCost is pipe.SequenceCycles against this scheduler's oracle:
@@ -343,11 +513,57 @@ func delaySlotLegal(cti, cand sparc.Inst) bool {
 }
 
 // scheduleStraightLine runs the two-pass list scheduler over straight-line
-// code against the stall oracle p.
-func (s *Scheduler) scheduleStraightLine(p Pipeline, body []sparc.Inst) ([]sparc.Inst, error) {
+// code on worker w, dispatching to the selected engine. The fast engine
+// is only eligible on schedulers built with New (known-monotone oracles).
+func (s *Scheduler) scheduleStraightLine(w *worker, body []sparc.Inst) ([]sparc.Inst, int64, error) {
 	if len(body) <= 1 {
-		return body, nil
+		return body, -1, nil
 	}
+	if s.fastOK && s.opts.Engine == EngineFast {
+		sc := &w.sc
+		pp, usePrep := w.p.(preparedPipeline)
+		if usePrep {
+			// Resolve every instruction's placement inputs once; the
+			// graph build, the scheduling loop and the guard's cost
+			// replay each need them, several times over. Preparing scans
+			// instructions in order, so a model-lookup failure surfaces
+			// on the same first bad instruction the reference build
+			// would report.
+			if cap(sc.prep) < len(body) {
+				sc.prep = make([]pipe.Prepared, len(body))
+			}
+			sc.prep = sc.prep[:len(body)]
+			for i, inst := range body {
+				p, err := pp.Prepare(inst)
+				if err != nil {
+					return nil, -1, err
+				}
+				sc.prep[i] = p
+			}
+		}
+		if err := s.buildDepGraph(sc, body, usePrep); err != nil {
+			return nil, -1, err
+		}
+		sc.prepOK = usePrep
+		return s.runFastList(sc, w.p, pp)
+	}
+	out, err := s.referenceStraightLine(w.p, body)
+	return out, -1, err
+}
+
+// preparedPipeline is the optional oracle interface for pre-resolved
+// placement (implemented by pipe.FastState): resolve an instruction's
+// register accesses and compiled group once, probe many times.
+type preparedPipeline interface {
+	Prepare(inst sparc.Inst) (pipe.Prepared, error)
+	StallsPrepared(p *pipe.Prepared, inst sparc.Inst) (int, error)
+	IssuePrepared(p *pipe.Prepared, inst sparc.Inst) (int, int64, error)
+}
+
+// referenceStraightLine is the original two-pass implementation: pairwise
+// DAG build, then a full ready-list Stalls rescan per issue step. It is
+// the ground truth the fast engine is differentially tested against.
+func (s *Scheduler) referenceStraightLine(p Pipeline, body []sparc.Inst) ([]sparc.Inst, error) {
 	nodes, err := s.buildDAG(body)
 	if err != nil {
 		return nil, err

@@ -57,6 +57,11 @@ func (ed *Editor) Graph() *cfg.Graph { return ed.graph }
 // Insts returns the decoded text segment.
 func (ed *Editor) Insts() []sparc.Inst { return ed.insts }
 
+// Cache returns the editor's schedule cache, shared by every Edit pass
+// that does not override Options.Sched.Cache. Callers inspect it for
+// effectiveness reporting (hit/miss counts, shard occupancy).
+func (ed *Editor) Cache() *core.Cache { return ed.cache }
+
 // Instrumenter is a tool that selects and places instrumentation (the
 // "Profiling Tool" box in Figure 3). Setup runs once, after analysis, and
 // may extend the executable's data segment (e.g. to allocate counters);

@@ -33,6 +33,124 @@ type FastState struct {
 	readCy  [sparc.NumRegs]int64
 
 	resolver Resolver
+	// rcache memoizes register-access resolution and the group lookup per
+	// exact instruction (direct-mapped, overwrite on collision). A block's
+	// instructions are each resolved several times — scheduling probes,
+	// the issue, and the scheduler's cost replays — and resolution walks
+	// string-keyed field accesses, so the memo removes most of the probe
+	// setup cost. Keying on the full Inst value makes hits exact.
+	rcache [resolveCacheSize]resolveEntry
+}
+
+const resolveCacheSize = 64 // power of two, covers typical block sizes
+
+type resolveEntry struct {
+	inst   sparc.Inst
+	g      *spawn.Group
+	ok     bool
+	nr, nw int8
+	reads  [6]RegAccess
+	writes [6]RegAccess
+}
+
+// instKey folds an instruction into a cache index. Only mixing quality
+// matters here; collisions just evict.
+func instKey(in sparc.Inst) uint64 {
+	k := uint64(in.Op)
+	k = k<<8 ^ uint64(in.Rd)
+	k = k<<8 ^ uint64(in.Rs1)
+	k = k<<8 ^ uint64(in.Rs2)
+	k = k<<8 ^ uint64(in.Cond)
+	k ^= uint64(uint32(in.Imm)) << 7
+	k ^= uint64(uint32(in.Disp)) << 13
+	if in.UseImm {
+		k ^= 1 << 62
+	}
+	if in.Annul {
+		k ^= 1 << 61
+	}
+	if in.Instrumented {
+		k ^= 1 << 60
+	}
+	k *= 0x9e3779b97f4a7c15
+	return k >> 32
+}
+
+// resolve returns inst's timing group and resolved register accesses,
+// through the memo. The returned slices are read-only and valid until
+// the next resolve call that misses on the same cache slot.
+func (s *FastState) resolve(inst sparc.Inst) (*spawn.Group, []RegAccess, []RegAccess, *spawn.CompiledGroup, error) {
+	e := &s.rcache[instKey(inst)&(resolveCacheSize-1)]
+	if e.ok && e.inst == inst {
+		return e.g, e.reads[:e.nr], e.writes[:e.nw], &s.tab.Groups[e.g.ID], nil
+	}
+	g, err := s.model.GroupOf(inst)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	cg := &s.tab.Groups[g.ID]
+	reads, writes := s.resolver.resolveWith(g, inst, cg.DefaultRead, cg.DefaultWrite)
+	if len(reads) <= len(e.reads) && len(writes) <= len(e.writes) {
+		e.inst, e.g, e.ok = inst, g, true
+		e.nr = int8(copy(e.reads[:], reads))
+		e.nw = int8(copy(e.writes[:], writes))
+		return g, e.reads[:e.nr], e.writes[:e.nw], cg, nil
+	}
+	e.ok = false
+	return g, reads, writes, cg, nil
+}
+
+// Prepared carries one instruction's pre-resolved placement inputs:
+// its compiled group and register accesses, copied into caller-owned
+// storage. A scheduler probes and issues the same instruction several
+// times per block; preparing once removes the resolution work from every
+// subsequent probe. Prepared values are position-independent and stay
+// valid for the lifetime of the FastState that produced them.
+type Prepared struct {
+	g      *spawn.Group
+	cg     *spawn.CompiledGroup
+	big    bool // accesses exceed the inline arrays; fall back to resolve
+	nr, nw int8
+	reads  [6]RegAccess
+	writes [6]RegAccess
+}
+
+// Group returns the prepared instruction's timing group.
+func (p *Prepared) Group() *spawn.Group { return p.g }
+
+// Prepare resolves inst once for repeated prepared probes.
+func (s *FastState) Prepare(inst sparc.Inst) (Prepared, error) {
+	var p Prepared
+	g, reads, writes, cg, err := s.resolve(inst)
+	if err != nil {
+		return p, err
+	}
+	p.g, p.cg = g, cg
+	if len(reads) > len(p.reads) || len(writes) > len(p.writes) {
+		p.big = true
+		return p, nil
+	}
+	p.nr = int8(copy(p.reads[:], reads))
+	p.nw = int8(copy(p.writes[:], writes))
+	return p, nil
+}
+
+// StallsPrepared is Stalls against pre-resolved placement inputs. The
+// inst must be the one p was prepared from.
+func (s *FastState) StallsPrepared(p *Prepared, inst sparc.Inst) (int, error) {
+	if p.big {
+		return s.Stalls(inst)
+	}
+	st, _, err := s.placeResolved(p.cg, inst, p.reads[:p.nr], p.writes[:p.nw], false)
+	return st, err
+}
+
+// IssuePrepared is Issue against pre-resolved placement inputs.
+func (s *FastState) IssuePrepared(p *Prepared, inst sparc.Inst) (int, int64, error) {
+	if p.big {
+		return s.Issue(inst)
+	}
+	return s.placeResolved(p.cg, inst, p.reads[:p.nr], p.writes[:p.nw], true)
 }
 
 // NewFastState returns an empty fast pipeline state for a machine model.
@@ -91,13 +209,16 @@ func (s *FastState) MustIssue(inst sparc.Inst) (stalls int, issueCycle int64) {
 // later until every held-unit entry finds enough free copies and every
 // register access satisfies the RAW, WAR and WAW rules.
 func (s *FastState) place(inst sparc.Inst, commit bool) (stalls int, issueCycle int64, err error) {
-	g, err := s.model.GroupOf(inst)
+	_, reads, writes, cg, err := s.resolve(inst)
 	if err != nil {
 		return 0, 0, err
 	}
-	cg := &s.tab.Groups[g.ID]
-	reads, writes := s.resolver.resolveWith(g, inst, cg.DefaultRead, cg.DefaultWrite)
+	return s.placeResolved(cg, inst, reads, writes, commit)
+}
 
+// placeResolved is place with the group and register accesses already
+// resolved (by resolve or a Prepared).
+func (s *FastState) placeResolved(cg *spawn.CompiledGroup, inst sparc.Inst, reads, writes []RegAccess, commit bool) (stalls int, issueCycle int64, err error) {
 	const maxStall = 1 << 16 // mirrors State's bound
 	if cg.Infeasible {
 		// The reference oracle would probe maxStall cycles and then give
