@@ -315,3 +315,51 @@ func instrumentWith(x *exe.Exe, model *spawn.Model, schedule bool) (*exe.Exe, er
 	}
 	return ed.Edit(&qpt.SlowProfiler{}, opts)
 }
+
+// BenchmarkRunTable measures end-to-end table regeneration (Table 1 shape,
+// small runs) at two harness widths. tableworkers=1 isolates the simulator
+// fast path and per-worker state pooling; tableworkers=4 adds the row-level
+// fan-out (it only separates from =1 on multi-core hardware — the output is
+// byte-identical either way).
+func BenchmarkRunTable(b *testing.B) {
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("tableworkers=%d", w), func(b *testing.B) {
+			cfg := bench.TableConfig{
+				Machine:      spawn.UltraSPARC,
+				DynamicInsts: 20_000,
+				TableWorkers: w,
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.RunTable(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimulate measures one measured simulation pass — the harness's
+// innermost loop — on a generated 132.ijpeg at 200k dynamic instructions.
+func BenchmarkSimulate(b *testing.B) {
+	machine := spawn.UltraSPARC
+	model := spawn.MustLoad(machine)
+	wb, ok := workload.ByName("132.ijpeg", machine)
+	if !ok {
+		b.Fatal("unknown benchmark")
+	}
+	x, err := workload.Generate(wb, workload.Config{Machine: machine, DynamicInsts: benchInsts})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.DefaultTiming(machine)
+	b.ResetTimer()
+	var steps uint64
+	for i := 0; i < b.N; i++ {
+		_, _, res, err := sim.RunMeasured(x, model, cfg, 1<<30)
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps += res.Steps
+	}
+	b.ReportMetric(float64(steps)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}

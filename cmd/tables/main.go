@@ -8,9 +8,10 @@
 //
 // -insts scales each benchmark's dynamic length (default 600k); larger
 // runs are slower but less noisy. -workers sizes the scheduling worker
-// pool (0 = GOMAXPROCS), and -oracle/-engine select the stall oracle and
-// scheduling engine; all three change wall-clock time only, never a
-// table. -json emits the table as JSON instead of the paper's format.
+// pool, -tableworkers the benchmark-row pool (0 = GOMAXPROCS for both),
+// and -oracle/-engine select the stall oracle and scheduling engine; all
+// four change wall-clock time only, never a table. -json emits the table
+// as JSON instead of the paper's format.
 package main
 
 import (
@@ -22,7 +23,6 @@ import (
 	"eel/internal/bench"
 	"eel/internal/core"
 	"eel/internal/spawn"
-	"eel/internal/workload"
 )
 
 func main() {
@@ -43,6 +43,7 @@ func run() error {
 		benchmarks = flag.String("benchmarks", "", "comma-separated benchmark subset")
 		validate   = flag.Bool("validate", false, "cross-check profile counts between runs")
 		workers    = flag.Int("workers", 0, "scheduling worker pool size (0 = GOMAXPROCS)")
+		tworkers   = flag.Int("tableworkers", 0, "benchmark-row worker pool size (0 = GOMAXPROCS)")
 		oracleName = flag.String("oracle", "fast", "stall oracle: fast (compiled tables) or reference (map-based ground truth)")
 		engineName = flag.String("engine", "fast", "scheduling engine: fast (arena/priority-queue) or reference (pairwise rescan)")
 		jsonOut    = flag.Bool("json", false, "emit the table as JSON instead of the paper's text format")
@@ -58,14 +59,11 @@ func run() error {
 		return err
 	}
 
+	// Unknown names are rejected by bench.RunTable itself, which lists
+	// every unknown benchmark in one error.
 	subset := []string(nil)
 	if *benchmarks != "" {
 		subset = strings.Split(*benchmarks, ",")
-		for _, name := range subset {
-			if _, ok := workload.ByName(name, spawn.UltraSPARC); !ok {
-				return fmt.Errorf("unknown benchmark %q", name)
-			}
-		}
 	}
 	mk := func(machine spawn.Machine, resched bool) bench.TableConfig {
 		return bench.TableConfig{
@@ -78,6 +76,7 @@ func run() error {
 			Workers:            *workers,
 			Oracle:             oracle,
 			Engine:             engine,
+			TableWorkers:       *tworkers,
 		}
 	}
 	configs := map[int]bench.TableConfig{

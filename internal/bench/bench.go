@@ -9,7 +9,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"eel/internal/core"
 	"eel/internal/eel"
@@ -49,6 +52,11 @@ type TableConfig struct {
 	// Engine selects the scheduling engine (see core.Options.Engine).
 	// Also wall-clock-only: both engines schedule identically.
 	Engine core.Engine
+	// TableWorkers bounds the benchmark-row worker pool in RunTable
+	// (0 = GOMAXPROCS). Like Workers it never changes a table — rows are
+	// independent experiments and land in suite order regardless — so it
+	// is excluded from the archived JSON.
+	TableWorkers int `json:"-"`
 }
 
 func (c TableConfig) withDefaults() TableConfig {
@@ -97,16 +105,21 @@ type Table struct {
 	Rows   []Row
 }
 
-// measure runs x and returns (cycles, seconds).
-func measure(x *exe.Exe, model *spawn.Model, cfg sim.TimingConfig, maxSteps uint64) (int64, float64, *sim.Interp, error) {
-	in, tm, res, err := sim.RunMeasured(x, model, cfg, maxSteps)
+// measure runs x under the measurer and returns (cycles, seconds) plus
+// the finished interpreter, which the caller must pass back to
+// meas.Release (the timing observer is recycled here).
+func measure(meas *sim.Measurer, x *exe.Exe, maxSteps uint64) (int64, float64, *sim.Interp, error) {
+	in, tm, res, err := meas.Run(x, maxSteps)
 	if err != nil {
 		return 0, 0, nil, err
 	}
 	if !res.Halted {
+		meas.Release(in, tm)
 		return 0, 0, nil, fmt.Errorf("bench: run did not halt")
 	}
-	return tm.Cycles(), tm.Seconds(), in, nil
+	cycles, sec := tm.Cycles(), tm.Seconds()
+	meas.Release(nil, tm)
+	return cycles, sec, in, nil
 }
 
 // RunBenchmark measures one benchmark under a configuration.
@@ -116,7 +129,21 @@ func RunBenchmark(b workload.Benchmark, cfg TableConfig) (Row, error) {
 	if err != nil {
 		return Row{}, err
 	}
-	tcfg := sim.DefaultTiming(cfg.Machine)
+	return runBenchmark(b, cfg, model, sim.NewMeasurer(model, sim.DefaultTiming(cfg.Machine)))
+}
+
+// runBenchmark is RunBenchmark with the model and measurer supplied by the
+// caller (RunTable's workers reuse both across rows). cfg must already
+// have defaults applied.
+//
+// The measurement legs are independent experiments on immutable inputs —
+// the generated original and the opened baseline editor — so they run
+// concurrently: the editor never mutates its executable, edits go through
+// the mutex-sharded scheduling cache, and each simulation owns its
+// interpreter and timing state. Results are deterministic because each
+// leg writes distinct fields and errors are checked in a fixed order
+// after the join.
+func runBenchmark(b workload.Benchmark, cfg TableConfig, model *spawn.Model, meas *sim.Measurer) (Row, error) {
 	maxSteps := 40*cfg.DynamicInsts + 1_000_000
 
 	orig, err := workload.Generate(b, workload.Config{
@@ -128,16 +155,9 @@ func RunBenchmark(b workload.Benchmark, cfg TableConfig) (Row, error) {
 		return Row{}, fmt.Errorf("bench: %s: %w", b.Name, err)
 	}
 	row := Row{Name: b.Name, FP: b.FP}
-	row.AvgBB, err = workload.MeasureAvgBlockSize(orig, 300_000)
-	if err != nil {
-		return Row{}, err
-	}
 
-	row.UninstCycles, row.UninstSec, _, err = measure(orig, model, tcfg, maxSteps)
-	if err != nil {
-		return Row{}, fmt.Errorf("bench: %s uninstrumented: %w", b.Name, err)
-	}
-
+	// The baseline binary is the one input every instrumented leg shares,
+	// so rescheduling (Table 2) stays on the serial spine.
 	base := orig
 	if cfg.RescheduleBaseline {
 		ed, err := eel.Open(orig)
@@ -148,63 +168,114 @@ func RunBenchmark(b workload.Benchmark, cfg TableConfig) (Row, error) {
 		if err != nil {
 			return Row{}, fmt.Errorf("bench: %s reschedule: %w", b.Name, err)
 		}
-		row.BaseCycles, row.BaseSec, _, err = measure(base, model, tcfg, maxSteps)
-		if err != nil {
-			return Row{}, fmt.Errorf("bench: %s rescheduled: %w", b.Name, err)
-		}
-	} else {
-		row.BaseCycles, row.BaseSec = row.UninstCycles, row.UninstSec
 	}
-
 	ed, err := eel.Open(base)
 	if err != nil {
 		return Row{}, err
 	}
 
-	// Instrumented, unscheduled.
 	profInst := &qpt.SlowProfiler{DisablePlacementOpt: cfg.DisablePlacementOpt}
-	instExe, err := ed.Edit(profInst, eel.Options{})
-	if err != nil {
-		return Row{}, fmt.Errorf("bench: %s instrument: %w", b.Name, err)
-	}
-	var instRun *sim.Interp
-	row.InstCycles, row.InstSec, instRun, err = measure(instExe, model, tcfg, maxSteps)
-	if err != nil {
-		return Row{}, fmt.Errorf("bench: %s instrumented: %w", b.Name, err)
-	}
-
-	// Instrumented and scheduled together.
 	profSched := &qpt.SlowProfiler{DisablePlacementOpt: cfg.DisablePlacementOpt}
-	schedExe, err := ed.Edit(profSched, eel.Options{
-		Machine:  model,
-		Schedule: true,
-		Sched:    cfg.Sched,
-	})
-	if err != nil {
-		return Row{}, fmt.Errorf("bench: %s schedule: %w", b.Name, err)
+	var instRun, schedRun *sim.Interp
+	var errAvg, errUninst, errBase, errInst, errSched error
+
+	var wg sync.WaitGroup
+	leg := func(f func()) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f()
+		}()
 	}
-	var schedRun *sim.Interp
-	row.SchedCycles, row.SchedSec, schedRun, err = measure(schedExe, model, tcfg, maxSteps)
-	if err != nil {
-		return Row{}, fmt.Errorf("bench: %s scheduled: %w", b.Name, err)
+	leg(func() {
+		row.AvgBB, errAvg = workload.MeasureAvgBlockSize(orig, 300_000)
+	})
+	leg(func() {
+		var in *sim.Interp
+		var err error
+		row.UninstCycles, row.UninstSec, in, err = measure(meas, orig, maxSteps)
+		if err != nil {
+			errUninst = fmt.Errorf("bench: %s uninstrumented: %w", b.Name, err)
+			return
+		}
+		meas.Release(in, nil)
+	})
+	if cfg.RescheduleBaseline {
+		leg(func() {
+			var in *sim.Interp
+			var err error
+			row.BaseCycles, row.BaseSec, in, err = measure(meas, base, maxSteps)
+			if err != nil {
+				errBase = fmt.Errorf("bench: %s rescheduled: %w", b.Name, err)
+				return
+			}
+			meas.Release(in, nil)
+		})
+	}
+	leg(func() {
+		// Instrumented, unscheduled.
+		instExe, err := ed.Edit(profInst, eel.Options{})
+		if err != nil {
+			errInst = fmt.Errorf("bench: %s instrument: %w", b.Name, err)
+			return
+		}
+		row.InstCycles, row.InstSec, instRun, err = measure(meas, instExe, maxSteps)
+		if err != nil {
+			errInst = fmt.Errorf("bench: %s instrumented: %w", b.Name, err)
+		}
+	})
+	leg(func() {
+		// Instrumented and scheduled together.
+		schedExe, err := ed.Edit(profSched, eel.Options{
+			Machine:  model,
+			Schedule: true,
+			Sched:    cfg.Sched,
+		})
+		if err != nil {
+			errSched = fmt.Errorf("bench: %s schedule: %w", b.Name, err)
+			return
+		}
+		row.SchedCycles, row.SchedSec, schedRun, err = measure(meas, schedExe, maxSteps)
+		if err != nil {
+			errSched = fmt.Errorf("bench: %s scheduled: %w", b.Name, err)
+		}
+	})
+	wg.Wait()
+
+	release := func() {
+		meas.Release(instRun, nil)
+		meas.Release(schedRun, nil)
+	}
+	for _, err := range []error{errAvg, errUninst, errBase, errInst, errSched} {
+		if err != nil {
+			release()
+			return Row{}, err
+		}
+	}
+	if !cfg.RescheduleBaseline {
+		row.BaseCycles, row.BaseSec = row.UninstCycles, row.UninstSec
 	}
 
 	if cfg.ValidateCounts {
 		a, err := profInst.Counts(instRun.Mem().Read32)
 		if err != nil {
+			release()
 			return Row{}, err
 		}
 		bc, err := profSched.Counts(schedRun.Mem().Read32)
 		if err != nil {
+			release()
 			return Row{}, err
 		}
 		for blk, av := range a {
 			if bc[blk] != av {
+				release()
 				return Row{}, fmt.Errorf("bench: %s: block %d counts diverge: %d vs %d",
 					b.Name, blk, av, bc[blk])
 			}
 		}
 	}
+	release()
 
 	row.RescheduleRatio = ratio(row.BaseCycles, row.UninstCycles)
 	row.InstRatio = ratio(row.InstCycles, row.UninstCycles)
@@ -223,20 +294,93 @@ func ratio(a, b int64) float64 {
 	return float64(a) / float64(b)
 }
 
-// RunTable runs a full experiment over the suite.
+// RunTable runs a full experiment over the suite. Benchmark rows are
+// fanned out over cfg.TableWorkers goroutines (0 = GOMAXPROCS); rows are
+// independent experiments, so the table is byte-identical for any worker
+// count. Unknown names in cfg.Benchmarks are an error.
 func RunTable(cfg TableConfig) (*Table, error) {
 	cfg = cfg.withDefaults()
-	t := &Table{Config: cfg}
-	for _, b := range workload.Suite(cfg.Machine) {
-		if len(cfg.Benchmarks) > 0 && !contains(cfg.Benchmarks, b.Name) {
-			continue
+	suite := workload.Suite(cfg.Machine)
+	list := suite
+	if len(cfg.Benchmarks) > 0 {
+		known := make(map[string]bool, len(suite))
+		for _, b := range suite {
+			known[b.Name] = true
 		}
-		row, err := RunBenchmark(b, cfg)
+		var unknown []string
+		for _, name := range cfg.Benchmarks {
+			if !known[name] {
+				unknown = append(unknown, name)
+			}
+		}
+		if len(unknown) > 0 {
+			return nil, fmt.Errorf("bench: unknown benchmarks: %s", strings.Join(unknown, ", "))
+		}
+		list = nil
+		for _, b := range suite {
+			if contains(cfg.Benchmarks, b.Name) {
+				list = append(list, b)
+			}
+		}
+	}
+	t := &Table{Config: cfg}
+	if len(list) == 0 {
+		return t, nil
+	}
+	model, err := spawn.Load(cfg.Machine)
+	if err != nil {
+		return nil, err
+	}
+	tcfg := sim.DefaultTiming(cfg.Machine)
+
+	workers := cfg.TableWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(list) {
+		workers = len(list)
+	}
+
+	// Workers claim row indices from an atomic counter, so claims happen
+	// in index order. The first error is deterministic: if row i is the
+	// lowest-index failure, every lower row succeeds and no higher row can
+	// set failed before i is claimed, so errs[i] is always populated and
+	// the in-order scan below always returns it. failed only short-
+	// circuits *new* claims after an error.
+	rows := make([]Row, len(list))
+	errs := make([]error, len(list))
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Per-worker measurer: loaded model shared, interpreter and
+			// timing state pooled across this worker's rows.
+			meas := sim.NewMeasurer(model, tcfg)
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= len(list) {
+					return
+				}
+				row, err := runBenchmark(list[i], cfg, model, meas)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				rows[i] = row
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		t.Rows = append(t.Rows, row)
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -278,10 +422,20 @@ func (t *Table) WriteJSON(w io.Writer) error {
 	return enc.Encode(t)
 }
 
+// titleCase upper-cases the first letter of an ASCII word — the machine
+// names are single lowercase words, so this matches what the deprecated
+// strings.Title produced for them.
+func titleCase(s string) string {
+	if s == "" || !('a' <= s[0] && s[0] <= 'z') {
+		return s
+	}
+	return string(s[0]-'a'+'A') + s[1:]
+}
+
 // String renders the table in the paper's format.
 func (t *Table) String() string {
 	var b strings.Builder
-	title := "Slow profiling instrumentation on the " + strings.Title(string(t.Config.Machine))
+	title := "Slow profiling instrumentation on the " + titleCase(string(t.Config.Machine))
 	if t.Config.RescheduleBaseline {
 		title += ", with original instructions first rescheduled by EEL"
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
@@ -134,14 +135,40 @@ func TestDisablePlacementOptCostsMore(t *testing.T) {
 	}
 }
 
-func TestUnknownBenchmarkFilterIsEmpty(t *testing.T) {
+func TestUnknownBenchmarksAreAnError(t *testing.T) {
 	cfg := small(spawn.UltraSPARC)
-	cfg.Benchmarks = []string{"999.nothere"}
-	tab, err := RunTable(cfg)
-	if err != nil {
-		t.Fatal(err)
+	cfg.Benchmarks = []string{"130.li", "999.nothere", "000.bogus"}
+	_, err := RunTable(cfg)
+	if err == nil {
+		t.Fatal("unknown benchmark names were silently ignored")
 	}
-	if len(tab.Rows) != 0 {
-		t.Errorf("rows = %d, want 0", len(tab.Rows))
+	for _, name := range []string{"999.nothere", "000.bogus"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list unknown benchmark %q", err, name)
+		}
+	}
+	if strings.Contains(err.Error(), "130.li") {
+		t.Errorf("error %q lists a known benchmark", err)
+	}
+}
+
+func TestRunTableDeterministicAcrossWorkers(t *testing.T) {
+	cfg := small(spawn.UltraSPARC)
+	cfg.DynamicInsts = 60_000
+	cfg.Benchmarks = []string{"130.li", "101.tomcatv", "147.vortex"}
+	var out [2]bytes.Buffer
+	for i, workers := range []int{1, 4} {
+		cfg.TableWorkers = workers
+		tab, err := RunTable(cfg)
+		if err != nil {
+			t.Fatalf("tableworkers=%d: %v", workers, err)
+		}
+		if err := tab.WriteJSON(&out[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(out[0].Bytes(), out[1].Bytes()) {
+		t.Errorf("JSON output differs between tableworkers=1 and 4:\n%s\n---\n%s",
+			out[0].String(), out[1].String())
 	}
 }

@@ -56,23 +56,75 @@ func MachineRules(m spawn.Machine) Rules {
 	return Rules{RedirectPenalty: 1}
 }
 
-// ringSize bounds how far ahead of the clock an instruction can reserve
-// units; it must exceed the longest group span plus slack.
-const ringSize = 128
+// prepared carries one instruction's pre-resolved placement inputs: its
+// compiled timing group, register accesses and memory-class flags, copied
+// into caller-owned storage. Timing memoizes one per static text index so
+// a 600k-step run resolves each of its few thousand static instructions
+// exactly once.
+type prepared struct {
+	ready   bool // the entry has been resolved
+	big     bool // accesses exceed the inline arrays; resolve per place
+	isLoad  bool
+	isStore bool
+	cg      *spawn.CompiledGroup
+	nr, nw  int8
+	reads   [6]pipe.RegAccess
+	writes  [6]pipe.RegAccess
+}
+
+const hwResolveCacheSize = 64 // power of two
+
+// instKey folds an instruction into a resolve-cache index. Only mixing
+// quality matters; collisions just evict.
+func instKey(in sparc.Inst) uint64 {
+	k := uint64(in.Op)
+	k = k<<8 ^ uint64(in.Rd)
+	k = k<<8 ^ uint64(in.Rs1)
+	k = k<<8 ^ uint64(in.Rs2)
+	k = k<<8 ^ uint64(in.Cond)
+	k ^= uint64(uint32(in.Imm)) << 7
+	k ^= uint64(uint32(in.Disp)) << 13
+	if in.UseImm {
+		k ^= 1 << 62
+	}
+	if in.Annul {
+		k ^= 1 << 61
+	}
+	if in.Instrumented {
+		k ^= 1 << 60
+	}
+	k *= 0x9e3779b97f4a7c15
+	return k >> 32
+}
 
 // HW is the hardware issue engine: the spawn model's units and latencies
 // plus the Rules. It is used two ways: statically (via HWPipeline) as the
 // "compiler's" scheduling model when the workload generator pre-schedules
 // code, and dynamically (via Timing) to measure execution.
+//
+// Placement probes the model's compiled tables (spawn.CompiledTables)
+// against a horizon-sized ring of flat per-cycle unit counters, mirroring
+// pipe.FastState: committed usage always lies in [clock, clock+horizon),
+// so cycles at or beyond the window are known-free and rows are recycled
+// as the clock advances.
 type HW struct {
 	model *spawn.Model
 	rules Rules
+	tab   *spawn.CompiledTables
 
-	heldOf   [][][]int // group id -> per-cycle unit holdings
 	resolver pipe.Resolver
+	// rcache memoizes placement inputs per exact instruction for callers
+	// without a per-static-index memo (HWPipeline scheduling probes);
+	// direct-mapped, overwrite on collision.
+	rcache [hwResolveCacheSize]struct {
+		inst sparc.Inst
+		ok   bool
+		p    prepared
+	}
 
-	ring      [ringSize][]int
-	maxSeen   int64 // highest cycle with valid ring contents
+	horizon   int64 // ring rows; no group holds units this long
+	nu        int   // units per row
+	ring      []int32
 	ready     [sparc.NumRegs]int64
 	clock     int64
 	fetchMin  int64 // earliest issue allowed by fetch (redirects, cache)
@@ -81,43 +133,29 @@ type HW struct {
 
 // NewHW builds an issue engine for a model and rules.
 func NewHW(model *spawn.Model, rules Rules) *HW {
-	h := &HW{model: model, rules: rules}
-	h.heldOf = make([][][]int, len(model.Groups))
-	for gi, g := range model.Groups {
-		span := len(g.Acquire)
-		held := make([][]int, span)
-		cur := make([]int, len(model.Units))
-		for k := 0; k < span; k++ {
-			for _, e := range g.Release[k] {
-				cur[e.Unit] -= e.Num
-			}
-			for _, e := range g.Acquire[k] {
-				cur[e.Unit] += e.Num
-			}
-			row := make([]int, len(cur))
-			copy(row, cur)
-			held[k] = row
-		}
-		h.heldOf[gi] = held
+	tab := model.Compiled()
+	h := &HW{
+		model:   model,
+		rules:   rules,
+		tab:     tab,
+		horizon: int64(tab.MaxSpan),
+		nu:      len(model.Units),
 	}
-	for i := range h.ring {
-		h.ring[i] = make([]int, len(model.Units))
+	if h.horizon < 1 {
+		h.horizon = 1
 	}
+	h.ring = make([]int32, int(h.horizon)*h.nu)
 	h.Reset()
 	return h
 }
 
-// Reset clears all state.
+// Reset clears all issue state (the per-instruction resolve memo is pure
+// model data and survives).
 func (h *HW) Reset() {
 	h.clock = 0
 	h.fetchMin = 0
-	h.maxSeen = -1
 	h.lastStore = -1
-	for i := range h.ring {
-		for u := range h.ring[i] {
-			h.ring[i][u] = 0
-		}
-	}
+	clear(h.ring)
 	for i := range h.ready {
 		h.ready[i] = -1
 	}
@@ -125,19 +163,6 @@ func (h *HW) Reset() {
 
 // Clock returns the issue cycle of the most recent instruction.
 func (h *HW) Clock() int64 { return h.clock }
-
-// slot returns the ring row for an absolute cycle, zeroing rows the first
-// time they come into view.
-func (h *HW) slot(cycle int64) []int {
-	for h.maxSeen < cycle {
-		h.maxSeen++
-		row := h.ring[h.maxSeen&(ringSize-1)]
-		for u := range row {
-			row[u] = 0
-		}
-	}
-	return h.ring[cycle&(ringSize-1)]
-}
 
 // Delay constrains the next instruction's issue to at least cycle c
 // (fetch redirects, cache misses).
@@ -147,20 +172,70 @@ func (h *HW) Delay(c int64) {
 	}
 }
 
-// place finds the earliest issue cycle for inst; commit records it.
-func (h *HW) place(inst *sparc.Inst, commit bool) (int64, error) {
+// prepare resolves inst's timing group, register accesses and flags into p.
+func (h *HW) prepare(p *prepared, inst *sparc.Inst) error {
 	g, err := h.model.GroupOf(*inst)
 	if err != nil {
-		return 0, err
+		return err
 	}
-	held := h.heldOf[g.ID]
+	p.cg = &h.tab.Groups[g.ID]
+	p.isLoad = inst.Op.IsLoad()
+	p.isStore = inst.Op.IsStore()
 	reads, writes := h.resolver.Resolve(g, *inst)
+	if len(reads) > len(p.reads) || len(writes) > len(p.writes) {
+		p.big = true
+	} else {
+		p.big = false
+		p.nr = int8(copy(p.reads[:], reads))
+		p.nw = int8(copy(p.writes[:], writes))
+	}
+	p.ready = true
+	return nil
+}
+
+// place finds the earliest issue cycle for inst; commit records it.
+func (h *HW) place(inst *sparc.Inst, commit bool) (int64, error) {
+	e := &h.rcache[instKey(*inst)&(hwResolveCacheSize-1)]
+	if !e.ok || e.inst != *inst {
+		if err := h.prepare(&e.p, inst); err != nil {
+			e.ok = false
+			return 0, err
+		}
+		e.inst, e.ok = *inst, true
+	}
+	return h.placePrepared(&e.p, inst, commit)
+}
+
+// placePrepared is place with the resolution work already done. inst must
+// be the instruction p was prepared from.
+func (h *HW) placePrepared(p *prepared, inst *sparc.Inst, commit bool) (int64, error) {
+	if p.big {
+		// Accesses exceed the inline arrays; re-resolve into the shared
+		// scratch buffers (rare: no shipped description produces >6).
+		g, err := h.model.GroupOf(*inst)
+		if err != nil {
+			return 0, err
+		}
+		reads, writes := h.resolver.Resolve(g, *inst)
+		return h.placeResolved(p, reads, writes, inst, commit)
+	}
+	return h.placeResolved(p, p.reads[:p.nr], p.writes[:p.nw], inst, commit)
+}
+
+// placeResolved runs the placement search against the compiled tables.
+func (h *HW) placeResolved(p *prepared, reads, writes []pipe.RegAccess, inst *sparc.Inst, commit bool) (int64, error) {
+	cg := p.cg
+	if cg.Infeasible {
+		return 0, fmt.Errorf("sim: cannot place %v", inst)
+	}
+	counts := h.tab.UnitCounts
+	horizonEnd := h.clock + h.horizon
 
 	t := h.clock
 	if h.fetchMin > t {
 		t = h.fetchMin
 	}
-	if h.rules.StoreLoadGap > 0 && inst.Op.IsLoad() && h.lastStore >= 0 {
+	if h.rules.StoreLoadGap > 0 && p.isLoad && h.lastStore >= 0 {
 		if min := h.lastStore + h.rules.StoreLoadGap; min > t {
 			t = min
 		}
@@ -183,42 +258,60 @@ search:
 				continue search
 			}
 		}
-		// Structural hazards.
-		for k, row := range held {
-			slot := h.slot(t + int64(k))
-			for u, n := range row {
-				if n > 0 && slot[u]+n > h.model.Units[u].Count {
-					continue search
-				}
+		// Structural hazards, sparse: only nonzero held entries checked.
+		for _, e := range cg.NZ {
+			abs := t + int64(e.Cycle)
+			if abs >= horizonEnd {
+				// No committed usage exists at or beyond the window.
+				continue
+			}
+			if counts[e.Unit]-h.ring[(abs%h.horizon)*int64(h.nu)+int64(e.Unit)] < int32(e.Num) {
+				continue search
 			}
 		}
 		break
 	}
 
 	if commit {
-		for k, row := range held {
-			slot := h.slot(t + int64(k))
-			for u, n := range row {
-				slot[u] += n
-			}
-		}
-		for _, w := range writes {
-			if avail := t + int64(w.Cycle); avail > h.ready[w.Reg] {
-				h.ready[w.Reg] = avail
-			}
-		}
-		h.clock = t
-		if h.fetchMin < t {
-			h.fetchMin = t
-		}
-		if h.rules.MemEndsGroup && (inst.Op.IsLoad() || inst.Op.IsStore()) {
-			h.Delay(t + 1)
-		}
-		if inst.Op.IsStore() {
-			h.lastStore = t
-		}
+		h.commitAt(p, cg, t, writes)
 	}
 	return t, nil
+}
+
+// commitAt records the placed instruction's effects. Ring rows whose
+// cycles fall behind the new clock are zeroed before the new usage lands,
+// because they alias cycles inside the advanced window.
+func (h *HW) commitAt(p *prepared, cg *spawn.CompiledGroup, t int64, writes []pipe.RegAccess) {
+	nu := int64(h.nu)
+	if t > h.clock {
+		if t-h.clock >= h.horizon {
+			clear(h.ring)
+		} else {
+			for c := h.clock; c < t; c++ {
+				row := (c % h.horizon) * nu
+				clear(h.ring[row : row+nu])
+			}
+		}
+	}
+	for _, e := range cg.NZ {
+		abs := t + int64(e.Cycle)
+		h.ring[(abs%h.horizon)*nu+int64(e.Unit)] += int32(e.Num)
+	}
+	for _, w := range writes {
+		if avail := t + int64(w.Cycle); avail > h.ready[w.Reg] {
+			h.ready[w.Reg] = avail
+		}
+	}
+	h.clock = t
+	if h.fetchMin < t {
+		h.fetchMin = t
+	}
+	if h.rules.MemEndsGroup && (p.isLoad || p.isStore) {
+		h.Delay(t + 1)
+	}
+	if p.isStore {
+		h.lastStore = t
+	}
 }
 
 // HWPipeline adapts HW to the scheduler's Pipeline interface, so the

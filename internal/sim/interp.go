@@ -19,26 +19,71 @@ import (
 // Halt trap numbers: "ta 0" ends the program.
 const TrapExit = 0
 
-// Memory is a sparse byte-addressed memory with 4 KiB pages.
+// Memory is a sparse byte-addressed memory with 4 KiB pages. A two-entry
+// most-recently-used cache sits in front of the page map: nearly every
+// access in practice alternates between a data page and a stack page, so
+// the map probe drops out of the interpreter's per-instruction path.
 type Memory struct {
 	pages map[uint32]*[pageSize]byte
+	pool  *pagePool // optional; recycled page storage (see Measurer)
+
+	// MRU page cache. k0/p0 is the most recent; noPage marks an empty slot
+	// (no valid address maps to it: page keys are at most 2^20).
+	k0, k1 uint32
+	p0, p1 *[pageSize]byte
 }
 
-const pageSize = 4096
+const (
+	pageSize = 4096
+	noPage   = ^uint32(0)
+)
 
 // NewMemory returns an empty memory.
-func NewMemory() *Memory {
-	return &Memory{pages: make(map[uint32]*[pageSize]byte)}
+func NewMemory() *Memory { return newMemoryWith(nil) }
+
+func newMemoryWith(pool *pagePool) *Memory {
+	return &Memory{
+		pages: make(map[uint32]*[pageSize]byte),
+		pool:  pool,
+		k0:    noPage, k1: noPage,
+	}
 }
 
 func (m *Memory) page(addr uint32) *[pageSize]byte {
 	key := addr / pageSize
+	if key == m.k0 {
+		return m.p0
+	}
+	if key == m.k1 {
+		// Promote to MRU so an alternating pair of pages keeps hitting.
+		m.k0, m.k1 = m.k1, m.k0
+		m.p0, m.p1 = m.p1, m.p0
+		return m.p0
+	}
 	p, ok := m.pages[key]
 	if !ok {
-		p = new([pageSize]byte)
+		if m.pool != nil {
+			p = m.pool.get()
+		} else {
+			p = new([pageSize]byte)
+		}
 		m.pages[key] = p
 	}
+	m.k1, m.p1 = m.k0, m.p0
+	m.k0, m.p0 = key, p
 	return p
+}
+
+// release returns every page to the pool (zeroed) and empties the memory.
+func (m *Memory) release() {
+	if m.pool != nil {
+		for _, p := range m.pages {
+			m.pool.put(p)
+		}
+	}
+	clear(m.pages)
+	m.k0, m.k1 = noPage, noPage
+	m.p0, m.p1 = nil, nil
 }
 
 // Read8 returns the byte at addr.
@@ -104,6 +149,10 @@ const StackTop = 0x7ffff000
 // NewInterp decodes the executable and prepares an initial machine state:
 // data segment loaded, registers zeroed, %sp set to StackTop.
 func NewInterp(x *exe.Exe) (*Interp, error) {
+	return newInterp(x, NewMemory())
+}
+
+func newInterp(x *exe.Exe, mem *Memory) (*Interp, error) {
 	if err := x.Validate(); err != nil {
 		return nil, err
 	}
@@ -111,7 +160,7 @@ func NewInterp(x *exe.Exe) (*Interp, error) {
 	if err != nil {
 		return nil, err
 	}
-	in := &Interp{x: x, insts: insts, mem: NewMemory()}
+	in := &Interp{x: x, insts: insts, mem: mem}
 	for i, b := range x.Data {
 		in.mem.Write8(x.DataBase+uint32(i), b)
 	}

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"sync"
+
+	"eel/internal/exe"
+	"eel/internal/spawn"
+)
+
+// pagePool recycles zeroed 4 KiB pages between Memory instances, so a
+// harness running many measured simulations stops allocating (and
+// garbage-collecting) its working set anew for every run. Pages are
+// zeroed on put, preserving Memory's zero-fill semantics.
+type pagePool struct {
+	pool sync.Pool
+}
+
+func (pp *pagePool) get() *[pageSize]byte {
+	if v := pp.pool.Get(); v != nil {
+		return v.(*[pageSize]byte)
+	}
+	return new([pageSize]byte)
+}
+
+func (pp *pagePool) put(p *[pageSize]byte) {
+	*p = [pageSize]byte{}
+	pp.pool.Put(p)
+}
+
+// Measurer runs measured simulations for one (model, timing-config) pair
+// while recycling the expensive state between runs: the hardware issue
+// engine's ring and register tables, the instruction-cache arrays, the
+// static-instruction memo storage and the interpreter's memory pages.
+// The benchmark harness runs three to four measured passes per table row;
+// without recycling each pass rebuilds all of that from scratch.
+//
+// A Measurer is safe for concurrent use: concurrent runs draw from
+// sync.Pools and never share live state. Recycled state is reset exactly
+// to its freshly-constructed form, so results are byte-identical to
+// RunMeasured's.
+type Measurer struct {
+	model   *spawn.Model
+	cfg     TimingConfig
+	timings sync.Pool // *Timing
+	pages   pagePool
+}
+
+// NewMeasurer returns a Measurer for a machine model and timing config.
+func NewMeasurer(model *spawn.Model, cfg TimingConfig) *Measurer {
+	return &Measurer{model: model, cfg: cfg}
+}
+
+// Run is RunMeasured with recycled state. The returned interpreter and
+// timing observer stay valid until passed to Release.
+func (m *Measurer) Run(x *exe.Exe, maxSteps uint64) (*Interp, *Timing, Result, error) {
+	in, err := newInterp(x, newMemoryWith(&m.pages))
+	if err != nil {
+		return nil, nil, Result{}, err
+	}
+	var tm *Timing
+	if v := m.timings.Get(); v != nil {
+		tm = v.(*Timing)
+		tm.ResetFor(x.TextBase, len(x.Text))
+	} else {
+		tm = NewProgramTiming(m.model, m.cfg, x.TextBase, len(x.Text))
+	}
+	res, err := in.Run(maxSteps, tm.Observe)
+	if err != nil {
+		m.Release(in, tm)
+		return nil, nil, res, err
+	}
+	return in, tm, res, nil
+}
+
+// Release returns a run's reusable state to the pools. Either argument
+// may be nil (e.g. keep the interpreter to read profiling counters while
+// recycling the timing state). Released values must not be used again.
+func (m *Measurer) Release(in *Interp, tm *Timing) {
+	if in != nil {
+		in.mem.release()
+	}
+	if tm != nil {
+		m.timings.Put(tm)
+	}
+}

@@ -54,6 +54,14 @@ type Timing struct {
 	icache *Cache
 	base   uint32 // text base for fetch addresses
 
+	// prog memoizes each static instruction's timing-group resolution and
+	// held-unit placement inputs per text index (nil when the text length
+	// is unknown — plain NewTiming callers — in which case Observe falls
+	// back to HW's per-instruction resolve cache). A 600k-step run
+	// touches only a few thousand static instructions, so each is
+	// resolved at most once.
+	prog []prepared
+
 	lastIdx int
 	// Pending conditional branch, for misprediction accounting.
 	pendIdx  int // index of the conditional CTI, -1 if none
@@ -78,6 +86,36 @@ func NewTiming(model *spawn.Model, cfg TimingConfig, textBase uint32) *Timing {
 		t.icache = NewCache(cfg.ICacheSize, cfg.ICacheLine, cfg.ICacheWays)
 	}
 	return t
+}
+
+// NewProgramTiming is NewTiming for a program of known text length: each
+// static instruction's placement inputs are resolved once, on first
+// execution, instead of on every dynamic instruction.
+func NewProgramTiming(model *spawn.Model, cfg TimingConfig, textBase uint32, textLen int) *Timing {
+	t := NewTiming(model, cfg, textBase)
+	t.prog = make([]prepared, textLen)
+	return t
+}
+
+// ResetFor prepares the observer for a fresh run of a (possibly different)
+// executable, reusing the hardware engine, the instruction-cache arrays
+// and the static-instruction memo storage. It leaves the observer exactly
+// as NewProgramTiming would build it.
+func (t *Timing) ResetFor(textBase uint32, textLen int) {
+	t.hw.Reset()
+	if t.icache != nil {
+		t.icache.Reset()
+	}
+	t.base = textBase
+	t.lastIdx, t.pendIdx = -1, -1
+	t.pendDisp, t.sinceCTI = 0, 0
+	t.instructions, t.mispredicts, t.redirects = 0, 0, 0
+	if cap(t.prog) >= textLen {
+		t.prog = t.prog[:textLen]
+		clear(t.prog)
+	} else {
+		t.prog = make([]prepared, textLen)
+	}
 }
 
 // Observe consumes one executed instruction. It matches sim.Observer.
@@ -111,7 +149,19 @@ func (t *Timing) Observe(idx int, inst *sparc.Inst) {
 		}
 	}
 
-	issue, err := t.hw.place(inst, true)
+	var issue int64
+	var err error
+	if t.prog != nil && idx < len(t.prog) {
+		p := &t.prog[idx]
+		if !p.ready {
+			err = t.hw.prepare(p, inst)
+		}
+		if err == nil {
+			issue, err = t.hw.placePrepared(p, inst, true)
+		}
+	} else {
+		issue, err = t.hw.place(inst, true)
+	}
 	if err != nil {
 		// The stream already executed functionally; a timing-model gap is
 		// a bug, so make it loud.
@@ -155,7 +205,7 @@ func RunMeasured(x *exe.Exe, model *spawn.Model, cfg TimingConfig, maxSteps uint
 	if err != nil {
 		return nil, nil, Result{}, err
 	}
-	t := NewTiming(model, cfg, x.TextBase)
+	t := NewProgramTiming(model, cfg, x.TextBase, len(x.Text))
 	res, err := in.Run(maxSteps, t.Observe)
 	if err != nil {
 		return nil, nil, res, err
