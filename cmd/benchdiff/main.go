@@ -10,8 +10,15 @@
 //	    compare against another recorded series
 //	go test -bench ScheduleBlocks -count 5 ./internal/core | benchdiff -update
 //	    record the per-benchmark medians as the new "current" series
+//	benchdiff -update -manifest runner=ci -manifest suite=smoke bench.txt
+//	    same, attaching operator facts to the series' run manifest
 //	benchdiff -fail-over 30 bench.txt
 //	    exit nonzero if any benchmark regressed more than 30%
+//
+// -update stamps a run manifest (Go version, platform, git revision,
+// plus any -manifest k=v pairs) alongside the recorded series; manifests
+// of other series in the baseline file are carried forward untouched, so
+// the committed file says where every number came from.
 //
 // Comparison is advisory by default (always exit 0): shared CI runners
 // are noisy enough that a hard gate on ns/op would flake. -fail-over
@@ -23,9 +30,26 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"strings"
 
 	"eel/internal/bench"
+	"eel/internal/obs"
 )
+
+// manifestFlag collects repeated -manifest k=v pairs.
+type manifestFlag map[string]string
+
+func (m manifestFlag) String() string { return "" }
+
+func (m manifestFlag) Set(v string) error {
+	k, val, ok := strings.Cut(v, "=")
+	if !ok || k == "" {
+		return fmt.Errorf("want key=value, got %q", v)
+	}
+	m[k] = val
+	return nil
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -42,6 +66,8 @@ func run() error {
 		note     = flag.String("note", "", "with -update: replace the baseline's note")
 		failOver = flag.Float64("fail-over", 0, "exit nonzero if any benchmark regresses more than this percent (0 = advisory)")
 	)
+	manifest := make(manifestFlag)
+	flag.Var(manifest, "manifest", "with -update: attach key=value to the series' run manifest (repeatable)")
 	flag.Parse()
 
 	in := io.Reader(os.Stdin)
@@ -77,6 +103,7 @@ func run() error {
 			pf.Series = make(map[string][]bench.PerfResult)
 		}
 		pf.Series[*series] = results
+		pf.SetSeriesManifest(*series, seriesManifest(manifest))
 		if cpu != "" {
 			pf.CPU = cpu
 		}
@@ -120,4 +147,21 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// seriesManifest builds the run manifest recorded with -update: the
+// environment facts first, then operator-supplied pairs (which win on
+// key collision — an explicit -manifest is a deliberate override).
+func seriesManifest(extra map[string]string) map[string]string {
+	m := map[string]string{
+		"go":       runtime.Version(),
+		"platform": runtime.GOOS + "/" + runtime.GOARCH,
+	}
+	if rev := obs.GitRev(); rev != "" {
+		m["git_rev"] = rev
+	}
+	for k, v := range extra {
+		m[k] = v
+	}
+	return m
 }

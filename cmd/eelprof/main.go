@@ -7,22 +7,36 @@
 //	eelprof -run prog.exe                                  # run and report
 //	eelprof -workers 8 -o prog.prof prog.exe               # 8 scheduling workers
 //	eelprof -cachestats -o prog.prof prog.exe              # schedule-cache report
+//	eelprof -metrics run.json -o prog.prof prog.exe        # telemetry export
+//	eelprof -trace traces/ -o prog.prof prog.exe           # decision traces
+//	eelprof -pprof :6060 -o prog.prof prog.exe             # live profiling
 //
 // With -run the tool executes the (possibly instrumented) program on the
 // functional simulator with the machine's hardware timing model and prints
 // cycles, instructions and, for instrumented binaries produced in the same
 // invocation, the hottest basic blocks.
+//
+// -metrics writes the run's telemetry registry (stall attribution by
+// hazard, phase spans, cache statistics) as JSON, or Prometheus text when
+// the path ends in .prom. -trace writes one JSON line per scheduled
+// block into <dir>/sched.jsonl for cmd/schedtrace. -pprof serves
+// net/http/pprof on the given address for the life of the process.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"path/filepath"
 	"sort"
+	"strconv"
 
 	"eel/internal/core"
 	"eel/internal/eel"
 	"eel/internal/exe"
+	"eel/internal/obs"
 	"eel/internal/qpt"
 	"eel/internal/sim"
 	"eel/internal/spawn"
@@ -49,11 +63,21 @@ func run() error {
 		oracleName = flag.String("oracle", "fast", "stall oracle: fast (compiled tables) or reference (map-based ground truth)")
 		engineName = flag.String("engine", "fast", "scheduling engine: fast (arena/priority-queue) or reference (pairwise rescan)")
 		cacheStats = flag.Bool("cachestats", false, "report schedule-cache statistics after editing")
+		metricsOut = flag.String("metrics", "", "write telemetry to this file (JSON, or Prometheus text for .prom)")
+		traceDir   = flag.String("trace", "", "write per-block scheduling decision traces into this directory")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: eelprof [flags] executable")
 		os.Exit(2)
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "eelprof: pprof:", err)
+			}
+		}()
 	}
 
 	oracle, err := core.ParseOracle(*oracleName)
@@ -63,6 +87,28 @@ func run() error {
 	engine, err := core.ParseEngine(*engineName)
 	if err != nil {
 		return err
+	}
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
+		reg.StampRunManifest()
+		reg.SetManifest("tool", "eelprof")
+		reg.SetManifest("machine", *machine)
+		reg.SetManifest("oracle", oracle.String())
+		reg.SetManifest("engine", engine.String())
+		reg.SetManifest("workers", strconv.Itoa(*workers))
+	}
+	var trace core.TraceSink
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			return err
+		}
+		j, err := obs.CreateJSONL(filepath.Join(*traceDir, "sched.jsonl"))
+		if err != nil {
+			return err
+		}
+		defer j.Close()
+		trace = core.NewJSONLTraceSink(j)
 	}
 	model, err := spawn.Load(spawn.Machine(*machine))
 	if err != nil {
@@ -81,7 +127,8 @@ func run() error {
 	result := x
 	switch {
 	case *reschedule:
-		result, err = ed.Reschedule(model, core.Options{Workers: *workers, Oracle: oracle, Engine: engine})
+		result, err = ed.Reschedule(model, core.Options{
+			Workers: *workers, Oracle: oracle, Engine: engine, Obs: reg, Trace: trace})
 	default:
 		prof = &qpt.SlowProfiler{}
 		opts := eel.Options{}
@@ -91,15 +138,35 @@ func run() error {
 			opts.Sched.Workers = *workers
 			opts.Sched.Oracle = oracle
 			opts.Sched.Engine = engine
+			opts.Sched.Obs = reg
+			opts.Sched.Trace = trace
 		}
 		result, err = ed.Edit(prof, opts)
 	}
 	if err != nil {
+		// A failed edit still leaves observable state behind: the blocks
+		// scheduled before the failure sit in the cache and the registry.
+		// Report both, marked incomplete, and keep the error — and the
+		// non-zero exit — intact.
+		if *cacheStats {
+			reportCacheStats(ed.Cache(), true)
+		}
+		if reg != nil && *metricsOut != "" {
+			reg.SetManifest("incomplete", "true")
+			if werr := reg.WriteFile(*metricsOut); werr != nil {
+				fmt.Fprintln(os.Stderr, "eelprof: metrics:", werr)
+			}
+		}
 		return err
 	}
 
 	if *cacheStats {
-		reportCacheStats(ed.Cache())
+		reportCacheStats(ed.Cache(), false)
+	}
+	if reg != nil && *metricsOut != "" {
+		if err := reg.WriteFile(*metricsOut); err != nil {
+			return err
+		}
 	}
 
 	if *out != "" {
@@ -149,8 +216,10 @@ func run() error {
 
 // reportCacheStats prints the schedule cache's effectiveness: aggregate
 // hit rate, occupancy against capacity, and how evenly the key space
-// spread over the lock shards (max/mean shard occupancy).
-func reportCacheStats(c *core.Cache) {
+// spread over the lock shards (max/mean shard occupancy). incomplete
+// marks a report cut short by a failed edit: the numbers are the state
+// at the failure, not a full run's.
+func reportCacheStats(c *core.Cache, incomplete bool) {
 	hits, misses := c.Stats()
 	total := hits + misses
 	rate := 0.0
@@ -168,7 +237,11 @@ func reportCacheStats(c *core.Cache) {
 		}
 	}
 	mean := float64(c.Len()) / float64(len(shards))
+	marker := ""
+	if incomplete {
+		marker = " (incomplete)"
+	}
 	fmt.Fprintf(os.Stderr,
-		"eelprof: schedule cache: %d/%d blocks, %d hits / %d misses (%.1f%% hit rate), %d/%d shards occupied (max %d, mean %.1f entries)\n",
-		c.Len(), c.Capacity(), hits, misses, rate, used, len(shards), maxLen, mean)
+		"eelprof: schedule cache%s: %d/%d blocks, %d hits / %d misses (%.1f%% hit rate), %d/%d shards occupied (max %d, mean %.1f entries)\n",
+		marker, c.Len(), c.Capacity(), hits, misses, rate, used, len(shards), maxLen, mean)
 }

@@ -1,0 +1,55 @@
+// Command metricscheck validates a telemetry export against a JSON
+// schema — the CI metrics-smoke gate:
+//
+//	metricscheck -schema schemas/metrics.schema.json run.json
+//
+// It prints every violation (not just the first) and exits non-zero if
+// any were found. The validator is the deliberately small JSON-Schema
+// subset in internal/obs; the point is catching shape regressions in the
+// exporter, not full draft compliance.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"eel/internal/obs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "metricscheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	schemaPath := flag.String("schema", "schemas/metrics.schema.json", "schema to validate against")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: metricscheck [-schema file] metrics.json")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(*schemaPath)
+	if err != nil {
+		return err
+	}
+	schema, err := obs.ParseSchema(raw)
+	if err != nil {
+		return err
+	}
+	doc, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	errs := schema.Validate(doc)
+	for _, e := range errs {
+		fmt.Fprintln(os.Stderr, "metricscheck:", e)
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("%s: %d schema violations", flag.Arg(0), len(errs))
+	}
+	fmt.Printf("%s: valid against %s\n", flag.Arg(0), *schemaPath)
+	return nil
+}

@@ -12,16 +12,27 @@
 // and -oracle/-engine select the stall oracle and scheduling engine; all
 // four change wall-clock time only, never a table. -json emits the table
 // as JSON instead of the paper's format.
+//
+// -metrics writes the run's telemetry (per-hazard stall attribution,
+// per-row wall time with a slowest_rows top-5, simulator totals, phase
+// spans, a run manifest) as JSON, or Prometheus text when the path ends
+// in .prom; telemetry never changes a table. -trace writes per-block
+// scheduling decision traces into a directory for cmd/schedtrace, and
+// -pprof serves net/http/pprof for the life of the run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"eel/internal/bench"
 	"eel/internal/core"
+	"eel/internal/obs"
 	"eel/internal/spawn"
 )
 
@@ -47,8 +58,18 @@ func run() error {
 		oracleName = flag.String("oracle", "fast", "stall oracle: fast (compiled tables) or reference (map-based ground truth)")
 		engineName = flag.String("engine", "fast", "scheduling engine: fast (arena/priority-queue) or reference (pairwise rescan)")
 		jsonOut    = flag.Bool("json", false, "emit the table as JSON instead of the paper's text format")
+		metricsOut = flag.String("metrics", "", "write telemetry to this file (JSON, or Prometheus text for .prom)")
+		traceDir   = flag.String("trace", "", "write per-block scheduling decision traces into this directory")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "tables: pprof:", err)
+			}
+		}()
+	}
 
 	oracle, err := core.ParseOracle(*oracleName)
 	if err != nil {
@@ -58,6 +79,23 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
+		reg.SetManifest("tool", "tables")
+	}
+	var trace core.TraceSink
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			return err
+		}
+		j, err := obs.CreateJSONL(filepath.Join(*traceDir, "sched.jsonl"))
+		if err != nil {
+			return err
+		}
+		defer j.Close()
+		trace = core.NewJSONLTraceSink(j)
+	}
 
 	// Unknown names are rejected by bench.RunTable itself, which lists
 	// every unknown benchmark in one error.
@@ -66,7 +104,7 @@ func run() error {
 		subset = strings.Split(*benchmarks, ",")
 	}
 	mk := func(machine spawn.Machine, resched bool) bench.TableConfig {
-		return bench.TableConfig{
+		cfg := bench.TableConfig{
 			Machine:            machine,
 			RescheduleBaseline: resched,
 			DynamicInsts:       *insts,
@@ -77,7 +115,10 @@ func run() error {
 			Oracle:             oracle,
 			Engine:             engine,
 			TableWorkers:       *tworkers,
+			Obs:                reg,
 		}
+		cfg.Sched.Trace = trace
+		return cfg
 	}
 	configs := map[int]bench.TableConfig{
 		1: mk(spawn.UltraSPARC, false),
@@ -97,7 +138,7 @@ func run() error {
 			fmt.Printf("  CINT95: inst %.2fx  sched %.2fx  hidden %.1f%%\n", ii, is, ih)
 			fmt.Printf("  CFP95:  inst %.2fx  sched %.2fx  hidden %.1f%%\n", fi, fs, fh)
 		}
-		return nil
+		return writeMetrics(reg, *metricsOut)
 	}
 
 	cfg, ok := configs[*table]
@@ -109,11 +150,22 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if err := writeMetrics(reg, *metricsOut); err != nil {
+		return err
+	}
 	if *jsonOut {
 		return t.WriteJSON(os.Stdout)
 	}
 	fmt.Printf("Table %d: %s", *table, t.String())
 	return nil
+}
+
+// writeMetrics exports the telemetry registry, if one was requested.
+func writeMetrics(reg *obs.Registry, path string) error {
+	if reg == nil || path == "" {
+		return nil
+	}
+	return reg.WriteFile(path)
 }
 
 func rescheduleNote(c bench.TableConfig) string {

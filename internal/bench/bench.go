@@ -10,13 +10,17 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"eel/internal/core"
 	"eel/internal/eel"
 	"eel/internal/exe"
+	"eel/internal/obs"
 	"eel/internal/qpt"
 	"eel/internal/sim"
 	"eel/internal/spawn"
@@ -57,6 +61,12 @@ type TableConfig struct {
 	// independent experiments and land in suite order regardless — so it
 	// is excluded from the archived JSON.
 	TableWorkers int `json:"-"`
+	// Obs, when non-nil, collects the run's telemetry: scheduler stall
+	// attribution (propagated into Sched.Obs), simulator run totals,
+	// per-row wall-time spans and the slowest_rows extra. Excluded from
+	// JSON — telemetry never changes a table, and archived tables must
+	// stay byte-identical with and without it.
+	Obs *obs.Registry `json:"-"`
 }
 
 func (c TableConfig) withDefaults() TableConfig {
@@ -75,7 +85,27 @@ func (c TableConfig) withDefaults() TableConfig {
 	if c.Engine != core.EngineFast && c.Sched.Engine == core.EngineFast {
 		c.Sched.Engine = c.Engine
 	}
+	if c.Obs != nil && c.Sched.Obs == nil {
+		c.Sched.Obs = c.Obs
+	}
 	return c
+}
+
+// stampManifest records the experiment's identity in the registry's
+// run-manifest block, layered over the environment facts.
+func (c TableConfig) stampManifest() {
+	r := c.Obs
+	if r == nil {
+		return
+	}
+	r.StampRunManifest()
+	r.SetManifest("machine", string(c.Machine))
+	r.SetManifest("engine", c.Sched.Engine.String())
+	r.SetManifest("oracle", c.Sched.Oracle.String())
+	r.SetManifest("workers", strconv.Itoa(c.Sched.Workers))
+	r.SetManifest("tableworkers", strconv.Itoa(c.TableWorkers))
+	r.SetManifest("dynamic_insts", strconv.FormatUint(c.DynamicInsts, 10))
+	r.SetManifest("reschedule_baseline", strconv.FormatBool(c.RescheduleBaseline))
 }
 
 // Row is one table line.
@@ -129,7 +159,9 @@ func RunBenchmark(b workload.Benchmark, cfg TableConfig) (Row, error) {
 	if err != nil {
 		return Row{}, err
 	}
-	return runBenchmark(b, cfg, model, sim.NewMeasurer(model, sim.DefaultTiming(cfg.Machine)))
+	meas := sim.NewMeasurer(model, sim.DefaultTiming(cfg.Machine))
+	meas.Obs = cfg.Obs
+	return runBenchmark(b, cfg, model, meas)
 }
 
 // runBenchmark is RunBenchmark with the model and measurer supplied by the
@@ -327,6 +359,7 @@ func RunTable(cfg TableConfig) (*Table, error) {
 	if len(list) == 0 {
 		return t, nil
 	}
+	cfg.stampManifest()
 	model, err := spawn.Load(cfg.Machine)
 	if err != nil {
 		return nil, err
@@ -349,6 +382,8 @@ func RunTable(cfg TableConfig) (*Table, error) {
 	// circuits *new* claims after an error.
 	rows := make([]Row, len(list))
 	errs := make([]error, len(list))
+	rowSecs := make([]float64, len(list)) // wall time per row, for slowest_rows
+	rowHist := cfg.Obs.Histogram("bench.row_millis", obs.ExpBuckets(8, 16))
 	var next atomic.Int64
 	var failed atomic.Bool
 	var wg sync.WaitGroup
@@ -359,12 +394,18 @@ func RunTable(cfg TableConfig) (*Table, error) {
 			// Per-worker measurer: loaded model shared, interpreter and
 			// timing state pooled across this worker's rows.
 			meas := sim.NewMeasurer(model, tcfg)
+			meas.Obs = cfg.Obs
 			for !failed.Load() {
 				i := int(next.Add(1)) - 1
 				if i >= len(list) {
 					return
 				}
+				span := cfg.Obs.StartSpan("bench.row." + list[i].Name)
+				start := time.Now()
 				row, err := runBenchmark(list[i], cfg, model, meas)
+				rowSecs[i] = time.Since(start).Seconds()
+				span.End()
+				rowHist.Observe(int64(rowSecs[i] * 1000))
 				if err != nil {
 					errs[i] = err
 					failed.Store(true)
@@ -375,6 +416,7 @@ func RunTable(cfg TableConfig) (*Table, error) {
 		}()
 	}
 	wg.Wait()
+	recordSlowestRows(cfg.Obs, list, rowSecs)
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -382,6 +424,37 @@ func RunTable(cfg TableConfig) (*Table, error) {
 	}
 	t.Rows = rows
 	return t, nil
+}
+
+// SlowRow is one entry of the slowest_rows extra: a benchmark row and
+// the wall time RunTable spent on it (all measurement legs included).
+type SlowRow struct {
+	Name   string  `json:"name"`
+	Millis float64 `json:"millis"`
+}
+
+// recordSlowestRows attaches the top-5 wall-time rows to the registry,
+// so a -metrics export answers "what made this run slow" directly.
+func recordSlowestRows(reg *obs.Registry, list []workload.Benchmark, rowSecs []float64) {
+	if reg == nil {
+		return
+	}
+	slow := make([]SlowRow, 0, len(list))
+	for i := range list {
+		if rowSecs[i] > 0 {
+			slow = append(slow, SlowRow{Name: list[i].Name, Millis: rowSecs[i] * 1000})
+		}
+	}
+	sort.Slice(slow, func(a, b int) bool {
+		if slow[a].Millis != slow[b].Millis {
+			return slow[a].Millis > slow[b].Millis
+		}
+		return slow[a].Name < slow[b].Name
+	})
+	if len(slow) > 5 {
+		slow = slow[:5]
+	}
+	reg.PutExtra("slowest_rows", slow)
 }
 
 func contains(xs []string, s string) bool {

@@ -28,10 +28,27 @@ type PerfResult struct {
 // PerfFile is a committed benchmark baseline. Series keeps named runs
 // side by side — e.g. a PR's predecessor numbers under one key and its
 // own under another — so speedup claims in the docs stay auditable.
+// Manifests carries a run-manifest block per series (go version,
+// platform, git revision, operator-supplied facts), stamped by
+// `benchdiff -update` and preserved verbatim for every other series, so
+// a trajectory of recorded numbers keeps saying where each came from.
 type PerfFile struct {
-	Note   string                  `json:"note,omitempty"`
-	CPU    string                  `json:"cpu,omitempty"`
-	Series map[string][]PerfResult `json:"series"`
+	Note      string                       `json:"note,omitempty"`
+	CPU       string                       `json:"cpu,omitempty"`
+	Series    map[string][]PerfResult      `json:"series"`
+	Manifests map[string]map[string]string `json:"manifests,omitempty"`
+}
+
+// SetSeriesManifest records a series' manifest block, replacing any
+// previous block for that series only.
+func (f *PerfFile) SetSeriesManifest(series string, manifest map[string]string) {
+	if len(manifest) == 0 {
+		return
+	}
+	if f.Manifests == nil {
+		f.Manifests = make(map[string]map[string]string)
+	}
+	f.Manifests[series] = manifest
 }
 
 // ParseGoBench parses `go test -bench` text output. The returned cpu is

@@ -114,6 +114,11 @@ type scratch struct {
 	// blocks append two extra slots (the CTI, a nop) for cost replays.
 	prep   []pipe.Prepared
 	prepOK bool
+
+	// Decision-trace collection (trace.go): traceOn is set per block by
+	// scheduleBlockOn; both engines append their steps here.
+	traceOn bool
+	steps   []TraceStep
 	// perm records the emitted schedule as body indices (out[k] =
 	// body[perm[k]]); beforeIdx/costIdx map replay sequences onto prep
 	// slots for the never-costs-more guard.

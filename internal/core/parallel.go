@@ -29,6 +29,8 @@ func (s *Scheduler) ScheduleBlocks(blocks [][]sparc.Inst) ([][]sparc.Inst, error
 		workers = len(blocks)
 	}
 	if s.factory == nil || workers <= 1 {
+		s.tel.recordBatch(1, len(blocks))
+		defer s.tel.recordCache(s.opts.Cache)
 		w := s.seq
 		if s.factory != nil {
 			// Draw private state from the pool so concurrent callers of a
@@ -38,7 +40,7 @@ func (s *Scheduler) ScheduleBlocks(blocks [][]sparc.Inst) ([][]sparc.Inst, error
 			defer s.pool.Put(w)
 		}
 		for i, b := range blocks {
-			sb, err := s.scheduleBlockOn(w, b)
+			sb, err := s.scheduleBlockOn(w, i, b)
 			if err != nil {
 				return nil, fmt.Errorf("core: block %d: %w", i, err)
 			}
@@ -46,6 +48,8 @@ func (s *Scheduler) ScheduleBlocks(blocks [][]sparc.Inst) ([][]sparc.Inst, error
 		}
 		return out, nil
 	}
+	s.tel.recordBatch(workers, len(blocks))
+	defer s.tel.recordCache(s.opts.Cache)
 
 	var (
 		next     atomic.Int64
@@ -65,7 +69,7 @@ func (s *Scheduler) ScheduleBlocks(blocks [][]sparc.Inst) ([][]sparc.Inst, error
 				if i >= len(blocks) {
 					return
 				}
-				sb, err := s.scheduleBlockOn(w, blocks[i])
+				sb, err := s.scheduleBlockOn(w, i, blocks[i])
 				if err != nil {
 					// Keep draining so the reported error is the
 					// deterministic lowest-indexed failure.

@@ -95,6 +95,9 @@ func (s *Scheduler) runFastList(sc *scratch, p Pipeline, pp preparedPipeline) ([
 		if err != nil {
 			return nil, -1, err
 		}
+		if sc.traceOn {
+			sc.fastTraceStep(s, top, int(issue-clock), issue)
+		}
 		clock = issue
 		version++ // all outstanding probes are now lower bounds only
 		if e := issue + int64(sc.groups[top].Cycles); e > endCost {

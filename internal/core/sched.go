@@ -30,6 +30,7 @@ import (
 	"runtime"
 	"sync"
 
+	"eel/internal/obs"
 	"eel/internal/pipe"
 	"eel/internal/sparc"
 	"eel/internal/spawn"
@@ -141,6 +142,18 @@ type Options struct {
 	// NewWithFactory) is not part of the key, so its results must not be
 	// shared through a cache.
 	Cache *Cache
+	// Obs, when non-nil, receives scheduler telemetry: per-hazard stall
+	// attribution of every emitted schedule, cycles-hidden deltas, block
+	// histograms, cache and worker-pool statistics (telemetry.go).
+	// Telemetry never changes schedules, so it is excluded from the
+	// cache key — and from JSON, which bench embeds in table files that
+	// must stay byte-identical across instrumented and plain runs.
+	Obs *obs.Registry `json:"-"`
+	// Trace, when non-nil, receives one BlockTrace per scheduled block
+	// (trace.go): every ready set, pick, tie-break and issue cycle, for
+	// cmd/schedtrace replay and golden-diffing. Tracing bypasses the
+	// schedule cache and is for debugging, not production runs.
+	Trace TraceSink `json:"-"`
 }
 
 // workers resolves the effective worker count.
@@ -177,8 +190,9 @@ type Scheduler struct {
 	factory func() Pipeline // nil: oracle cannot be replicated for workers
 	pool    sync.Pool       // of *worker, fed by factory
 	opts    Options
-	cacheID uint64 // cache key seed; 0 when results are uncacheable
-	fastOK  bool   // oracle known monotone, EngineFast allowed
+	cacheID uint64     // cache key seed; 0 when results are uncacheable
+	fastOK  bool       // oracle known monotone, EngineFast allowed
+	tel     *telemetry // nil unless Options.Obs carries a registry
 }
 
 // worker bundles one goroutine's private scheduling state: a stall
@@ -187,6 +201,12 @@ type Scheduler struct {
 type worker struct {
 	p  Pipeline
 	sc scratch
+	// attr is the worker's private stall-attribution scratch, attached
+	// to p only during telemetry replays (telemetry.go).
+	attr pipe.StallAttr
+	// keptOriginal marks (for tracing) that the never-costs-more guard
+	// rejected the last block's greedy schedule.
+	keptOriginal bool
 }
 
 // New returns a scheduler driven by the machine's SADL pipeline model —
@@ -207,6 +227,7 @@ func New(model *spawn.Model, opts Options) *Scheduler {
 	// Only the default oracle is cacheable: the model name plus the
 	// options that change schedules fully determine the output.
 	s.cacheID = cacheSeed(model, opts)
+	s.tel = newTelemetry(opts.Obs, model)
 	return s
 }
 
@@ -217,7 +238,8 @@ func New(model *spawn.Model, opts Options) *Scheduler {
 // oracles are not known to be monotone, so these schedulers run the
 // reference engine.
 func NewWith(p Pipeline, model *spawn.Model, opts Options) *Scheduler {
-	return &Scheduler{model: model, seq: &worker{p: p}, opts: opts}
+	return &Scheduler{model: model, seq: &worker{p: p}, opts: opts,
+		tel: newTelemetry(opts.Obs, model)}
 }
 
 // NewWithFactory returns a scheduler whose stall oracles come from
@@ -227,6 +249,7 @@ func NewWith(p Pipeline, model *spawn.Model, opts Options) *Scheduler {
 func NewWithFactory(factory func() Pipeline, model *spawn.Model, opts Options) *Scheduler {
 	s := &Scheduler{model: model, seq: &worker{p: factory()}, factory: factory, opts: opts}
 	s.pool.New = func() any { return &worker{p: factory()} }
+	s.tel = newTelemetry(opts.Obs, model)
 	return s
 }
 
@@ -258,17 +281,28 @@ type edge struct {
 // model more cycles than the original order, the original is returned
 // instead (see guardedSchedule), so scheduling never costs cycles.
 func (s *Scheduler) ScheduleBlock(block []sparc.Inst) ([]sparc.Inst, error) {
-	return s.scheduleBlockOn(s.seq, block)
+	return s.scheduleBlockOn(s.seq, -1, block)
 }
 
 // scheduleBlockOn is ScheduleBlock against an explicit worker, so
-// goroutines can schedule with private pipeline states and arenas.
-func (s *Scheduler) scheduleBlockOn(w *worker, block []sparc.Inst) ([]sparc.Inst, error) {
+// goroutines can schedule with private pipeline states and arenas. idx
+// is the block's batch position, stamped into traces (-1 when the
+// caller has no batch).
+func (s *Scheduler) scheduleBlockOn(w *worker, idx int, block []sparc.Inst) ([]sparc.Inst, error) {
 	if s.opts.NoReorder || len(block) == 0 {
 		return block, nil
 	}
-	if c := s.opts.Cache; c != nil && s.cacheID != 0 {
+	tracing := s.opts.Trace != nil
+	w.sc.traceOn = tracing
+	if tracing {
+		w.sc.steps = w.sc.steps[:0]
+		w.keptOriginal = false
+	}
+	if c := s.opts.Cache; c != nil && s.cacheID != 0 && !tracing {
 		if out, ok := c.get(s.cacheID, block); ok {
+			if s.tel != nil {
+				s.telemetryBlock(w, block, out, true)
+			}
 			return out, nil
 		}
 		out, err := s.guardedSchedule(w, block)
@@ -276,9 +310,22 @@ func (s *Scheduler) scheduleBlockOn(w *worker, block []sparc.Inst) ([]sparc.Inst
 			return nil, err
 		}
 		c.put(s.cacheID, block, out)
+		if s.tel != nil {
+			s.telemetryBlock(w, block, out, false)
+		}
 		return out, nil
 	}
-	return s.guardedSchedule(w, block)
+	out, err := s.guardedSchedule(w, block)
+	if err != nil {
+		return nil, err
+	}
+	if s.tel != nil {
+		s.telemetryBlock(w, block, out, false)
+	}
+	if tracing {
+		s.emitTrace(w, idx, block, out)
+	}
+	return out, nil
 }
 
 // scheduleBlockRaw is one unguarded scheduling pass over a block. The
@@ -431,6 +478,9 @@ func (s *Scheduler) guardedSchedule(w *worker, block []sparc.Inst) ([]sparc.Inst
 		}
 	}
 	if after > before {
+		if w.sc.traceOn {
+			w.keptOriginal = true
+		}
 		return block, nil
 	}
 	return out, nil
@@ -547,7 +597,7 @@ func (s *Scheduler) scheduleStraightLine(w *worker, body []sparc.Inst) ([]sparc.
 		sc.prepOK = usePrep
 		return s.runFastList(sc, w.p, pp)
 	}
-	out, err := s.referenceStraightLine(w.p, body)
+	out, err := s.referenceStraightLine(w, body)
 	return out, -1, err
 }
 
@@ -563,7 +613,8 @@ type preparedPipeline interface {
 // referenceStraightLine is the original two-pass implementation: pairwise
 // DAG build, then a full ready-list Stalls rescan per issue step. It is
 // the ground truth the fast engine is differentially tested against.
-func (s *Scheduler) referenceStraightLine(p Pipeline, body []sparc.Inst) ([]sparc.Inst, error) {
+func (s *Scheduler) referenceStraightLine(w *worker, body []sparc.Inst) ([]sparc.Inst, error) {
+	p := w.p
 	nodes, err := s.buildDAG(body)
 	if err != nil {
 		return nil, err
@@ -589,21 +640,32 @@ func (s *Scheduler) referenceStraightLine(p Pipeline, body []sparc.Inst) ([]spar
 		}
 	}
 	out := make([]sparc.Inst, 0, len(body))
+	var sts []int // per-ready stall probes, kept only while tracing
 	for len(ready) > 0 {
 		bestIdx := -1
 		bestStalls := 0
 		var best *node
+		if w.sc.traceOn {
+			sts = append(sts[:0], make([]int, len(ready))...)
+		}
 		for i, n := range ready {
 			st, err := p.Stalls(n.inst)
 			if err != nil {
 				return nil, err
 			}
+			if sts != nil {
+				sts[i] = st
+			}
 			if best == nil || s.better(st, n, bestStalls, best) {
 				best, bestIdx, bestStalls = n, i, st
 			}
 		}
-		if _, _, err := p.Issue(best.inst); err != nil {
+		_, issue, err := p.Issue(best.inst)
+		if err != nil {
 			return nil, err
+		}
+		if w.sc.traceOn {
+			s.refTraceStep(w, ready, sts, bestIdx, bestStalls, issue)
 		}
 		out = append(out, best.inst)
 		ready[bestIdx] = ready[len(ready)-1]

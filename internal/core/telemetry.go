@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+
+	"eel/internal/obs"
+	"eel/internal/pipe"
+	"eel/internal/sparc"
+	"eel/internal/spawn"
+)
+
+// This file is the scheduler's side of the telemetry layer: when
+// Options.Obs carries a registry, every scheduled block is replayed once
+// through its worker's oracle with a pipe.StallAttr attached, so the
+// emitted schedule's stall cycles are classified by hazard (RAW, WAR,
+// WAW, structural — per unit and per register class), and replayed once
+// in original order to price the stalls scheduling hid. The replays run
+// after the scheduling decision is final and never feed back into it:
+// enabling telemetry cannot change a schedule, which is why Obs is
+// excluded from the cache key (and from the JSON encoding bench embeds
+// in its tables).
+//
+// With Obs nil the scheduler carries a nil *telemetry and the per-block
+// cost is a single pointer test; the committed overhead-guard benchmark
+// in telemetry_test.go holds the disabled path under its budget.
+
+// attrSink is the optional oracle interface for stall attribution,
+// implemented by both pipe oracles.
+type attrSink interface {
+	SetAttribution(*pipe.StallAttr)
+}
+
+// telemetry holds the scheduler's pre-resolved instrument handles, so
+// the per-block recording path is atomic adds with no map lookups.
+type telemetry struct {
+	reg *obs.Registry
+
+	blocks     *obs.Counter // every block scheduled
+	cached     *obs.Counter // blocks served from the schedule cache
+	changed    *obs.Counter // blocks whose emitted order differs from the input
+	hidden     *obs.Counter // cycles the emitted order models below the original
+	stallTotal *obs.Counter // classified stall cycles in emitted schedules
+	replayErrs *obs.Counter // telemetry replays the model could not price
+
+	kind  [pipe.NumHazards]*obs.Counter
+	unit  []*obs.Counter // structural stalls by blocking unit
+	class [pipe.NumHazards][pipe.NumRegClasses]*obs.Counter
+
+	blockStalls *obs.Histogram // classified stall cycles per block
+	blockCycles *obs.Histogram // modeled cycles per emitted block
+	blockSize   *obs.Histogram // instructions per block
+
+	batches      *obs.Counter   // ScheduleBlocks calls
+	batchWorkers *obs.Histogram // workers used per batch
+	batchBlocks  *obs.Histogram // blocks per batch
+}
+
+// newTelemetry resolves every handle the scheduler records into. Metric
+// names carry the machine model, so one registry can host several
+// schedulers (bench's -summary runs three machines) without mixing
+// counts; registration is idempotent, so schedulers sharing a model
+// share instruments.
+func newTelemetry(reg *obs.Registry, model *spawn.Model) *telemetry {
+	if reg == nil {
+		return nil
+	}
+	p := "sched." + string(model.Machine) + "."
+	t := &telemetry{
+		reg:        reg,
+		blocks:     reg.Counter(p + "blocks_total"),
+		cached:     reg.Counter(p + "blocks_cached"),
+		changed:    reg.Counter(p + "blocks_changed"),
+		hidden:     reg.Counter(p + "cycles_hidden_total"),
+		stallTotal: reg.Counter(p + "stall_cycles_total"),
+		replayErrs: reg.Counter(p + "telemetry_replay_errors"),
+
+		blockStalls: reg.Histogram(p+"block_stall_cycles", obs.ExpBuckets(1, 12)),
+		blockCycles: reg.Histogram(p+"block_cycles", obs.ExpBuckets(1, 14)),
+		blockSize:   reg.Histogram(p+"block_insts", obs.ExpBuckets(1, 10)),
+
+		batches:      reg.Counter("sched.pool.batches_total"),
+		batchWorkers: reg.Histogram("sched.pool.batch_workers", obs.ExpBuckets(1, 8)),
+		batchBlocks:  reg.Histogram("sched.pool.batch_blocks", obs.ExpBuckets(1, 16)),
+	}
+	for k := pipe.HazardKind(0); k < pipe.NumHazards; k++ {
+		t.kind[k] = reg.Counter(p + "stall_cycles." + k.String())
+		if k == pipe.HazardStructural {
+			continue
+		}
+		for c := pipe.RegClass(0); c < pipe.NumRegClasses; c++ {
+			t.class[k][c] = reg.Counter(fmt.Sprintf("%sstall_cycles.%s.class.%s", p, k, c))
+		}
+	}
+	t.unit = make([]*obs.Counter, len(model.Units))
+	for u := range model.Units {
+		t.unit[u] = reg.Counter(p + "stall_cycles.structural.unit." + model.Units[u].Name)
+	}
+	return t
+}
+
+// recordCache snapshots the schedule cache into gauges. Called once per
+// batch, not per block: cache stats are cumulative anyway.
+func (t *telemetry) recordCache(c *Cache) {
+	if t == nil || c == nil {
+		return
+	}
+	hits, misses := c.Stats()
+	t.reg.Gauge("sched.cache.hits").Set(int64(hits))
+	t.reg.Gauge("sched.cache.misses").Set(int64(misses))
+	t.reg.Gauge("sched.cache.len").Set(int64(c.Len()))
+	t.reg.Gauge("sched.cache.capacity").Set(int64(c.Capacity()))
+	t.reg.Gauge("sched.cache.shards").Set(int64(c.Shards()))
+}
+
+// recordBatch notes one ScheduleBlocks fan-out and its pool occupancy.
+func (t *telemetry) recordBatch(workers, blocks int) {
+	if t == nil {
+		return
+	}
+	t.batches.Inc()
+	t.batchWorkers.Observe(int64(workers))
+	t.batchBlocks.Observe(int64(blocks))
+}
+
+// telemetryBlock observes one scheduled block: it replays the emitted
+// order with the worker's attribution sink attached (classifying every
+// stall cycle the schedule still carries), replays the original order
+// without it, and records the difference as cycles hidden. Cache hits
+// are replayed too — attribution totals describe the blocks scheduled,
+// not the cache's hit pattern, so they are deterministic for a given
+// input regardless of worker count or cache state.
+func (s *Scheduler) telemetryBlock(w *worker, block, out []sparc.Inst, fromCache bool) {
+	t := s.tel
+	t.blocks.Inc()
+	t.blockSize.Observe(int64(len(block)))
+	if fromCache {
+		t.cached.Inc()
+	}
+	unchanged := blocksEqual(out, block)
+	if !unchanged {
+		t.changed.Inc()
+	}
+
+	sink, _ := w.p.(attrSink)
+	if sink != nil {
+		w.attr.Reset()
+		sink.SetAttribution(&w.attr)
+	}
+	after, err := s.sequenceCost(w.p, out)
+	if sink != nil {
+		sink.SetAttribution(nil)
+	}
+	if err != nil {
+		// Some blocks price only in their emitted shape (an unchanged
+		// CTI the model has no timing group for, say). Telemetry never
+		// fails the schedule; it counts what it could not see.
+		t.replayErrs.Inc()
+		return
+	}
+	t.blockCycles.Observe(after)
+	if sink != nil {
+		a := &w.attr
+		t.stallTotal.Add(int64(a.Total))
+		t.blockStalls.Observe(int64(a.Total))
+		for k := range a.Kind {
+			t.kind[k].Add(int64(a.Kind[k]))
+		}
+		for u := 0; u < len(a.Unit) && u < len(t.unit); u++ {
+			t.unit[u].Add(int64(a.Unit[u]))
+		}
+		for k := range a.Class {
+			for c := range a.Class[k] {
+				t.class[k][c].Add(int64(a.Class[k][c]))
+			}
+		}
+	}
+	if unchanged {
+		return
+	}
+	before, err := s.sequenceCost(w.p, block)
+	if err != nil {
+		t.replayErrs.Inc()
+		return
+	}
+	if d := before - after; d > 0 {
+		// The never-costs-more guard makes this non-negative whenever
+		// both orders price; clamp anyway so a custom oracle's quirk
+		// can never walk the counter backwards.
+		t.hidden.Add(d)
+	}
+}

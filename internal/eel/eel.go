@@ -151,9 +151,14 @@ func (ed *Editor) Edit(tool Instrumenter, opts Options) (*exe.Exe, error) {
 		}
 	}
 
+	// Phase spans land in the scheduler's registry when one is attached,
+	// so -metrics exports show where an edit's wall and CPU time went.
+	reg := opts.Sched.Obs
+
 	// Pass 1a: rebuild each block's instruction sequence (instrumentation
 	// prepended), then schedule the whole batch — concurrently when the
 	// scheduler supports it.
+	span := reg.StartSpan("eel.instrument")
 	blocks := make([][]sparc.Inst, len(ed.graph.Blocks))
 	for i, b := range ed.graph.Blocks {
 		block := append([]sparc.Inst(nil), b.Insts...)
@@ -164,6 +169,8 @@ func (ed *Editor) Edit(tool Instrumenter, opts Options) (*exe.Exe, error) {
 		}
 		blocks[i] = block
 	}
+	span.End()
+	span = reg.StartSpan("eel.schedule")
 	switch s := sched.(type) {
 	case nil:
 	case BlocksScheduler:
@@ -181,6 +188,9 @@ func (ed *Editor) Edit(tool Instrumenter, opts Options) (*exe.Exe, error) {
 			blocks[i] = scheduled
 		}
 	}
+	span.End()
+	span = reg.StartSpan("eel.layout")
+	defer span.End()
 
 	// Pass 1b: lay the blocks out, recording the new start index of every
 	// old block leader.

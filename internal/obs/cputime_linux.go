@@ -1,0 +1,18 @@
+//go:build linux || darwin
+
+package obs
+
+import "syscall"
+
+// processCPUNs returns the process's cumulative CPU time (user + system)
+// in nanoseconds. Span CPU attribution is process-wide: with concurrent
+// phases a span sees CPU burnt by its neighbours too, which is exactly
+// the "how parallel was this stretch" signal the exporter's wall-vs-CPU
+// column reads off.
+func processCPUNs() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return ru.Utime.Nano() + ru.Stime.Nano()
+}

@@ -1,0 +1,7 @@
+//go:build !linux && !darwin
+
+package obs
+
+// processCPUNs is unavailable on this platform; spans report zero CPU
+// time and keep their wall-clock measurements.
+func processCPUNs() int64 { return 0 }

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Export is the JSON shape of a registry snapshot — the document
+// cmd/tables -metrics and cmd/eelprof -metrics write, validated in CI
+// against schemas/metrics.schema.json by cmd/metricscheck.
+type Export struct {
+	Manifest   map[string]string          `json:"manifest"`
+	Counters   map[string]int64           `json:"counters"`
+	Gauges     map[string]int64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramExport `json:"histograms,omitempty"`
+	Spans      []SpanRecord               `json:"spans,omitempty"`
+	Extras     map[string]json.RawMessage `json:"extras,omitempty"`
+}
+
+// HistogramExport is one histogram's JSON shape.
+type HistogramExport struct {
+	Bounds []int64 `json:"bounds"` // bucket upper bounds; counts has one extra overflow bucket
+	Counts []int64 `json:"counts"`
+	Count  int64   `json:"count"`
+	Sum    int64   `json:"sum"`
+	Max    int64   `json:"max"`
+}
+
+// Snapshot assembles the full export document.
+func (r *Registry) Snapshot() *Export {
+	e := &Export{
+		Manifest: map[string]string{},
+		Counters: map[string]int64{},
+	}
+	if r == nil {
+		return e
+	}
+	e.Manifest = r.Manifest()
+	e.Counters = r.Counters()
+	if g := r.Gauges(); len(g) > 0 {
+		e.Gauges = g
+	}
+	r.mu.Lock()
+	if len(r.hists) > 0 {
+		e.Histograms = make(map[string]HistogramExport, len(r.hists))
+		for name, h := range r.hists {
+			bounds, counts := h.Snapshot()
+			e.Histograms[name] = HistogramExport{
+				Bounds: bounds,
+				Counts: counts,
+				Count:  h.Count(),
+				Sum:    h.Sum(),
+				Max:    h.max.Load(),
+			}
+		}
+	}
+	extras := make(map[string]any, len(r.extras))
+	for k, v := range r.extras {
+		extras[k] = v
+	}
+	r.mu.Unlock()
+	e.Spans = r.Spans()
+	if len(extras) > 0 {
+		e.Extras = make(map[string]json.RawMessage, len(extras))
+		for k, v := range extras {
+			raw, err := json.Marshal(v)
+			if err != nil {
+				raw, _ = json.Marshal(fmt.Sprintf("unmarshalable: %v", err))
+			}
+			e.Extras[k] = raw
+		}
+	}
+	return e
+}
+
+// WriteJSON writes the registry snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format. Dotted instrument names become underscore-separated metric
+// names; the manifest is exported as an info-style gauge with one label
+// per entry. Spans and extras have no Prometheus shape and are skipped.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	e := r.Snapshot()
+	var b strings.Builder
+	if len(e.Manifest) > 0 {
+		b.WriteString("# TYPE eel_run_info gauge\n")
+		b.WriteString("eel_run_info{")
+		for i, k := range sortedKeys(e.Manifest) {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%s=%q", promName(k), e.Manifest[k])
+		}
+		b.WriteString("} 1\n")
+	}
+	for _, name := range sortedKeys(e.Counters) {
+		n := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", n, n, e.Counters[name])
+	}
+	for _, name := range sortedKeys(e.Gauges) {
+		n := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", n, n, e.Gauges[name])
+	}
+	for _, name := range sortedKeys(e.Histograms) {
+		h := e.Histograms[name]
+		n := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", n)
+		cum := int64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(&b, "%s_bucket{le=\"%d\"} %d\n", n, bound, cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count)
+		fmt.Fprintf(&b, "%s_sum %d\n%s_count %d\n", n, h.Sum, n, h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteFile writes the snapshot to path, picking the format from the
+// extension: Prometheus text for .prom, indented JSON otherwise. This is
+// what the CLIs' -metrics flags call.
+func (r *Registry) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".prom") {
+		err = r.WritePrometheus(f)
+	} else {
+		err = r.WriteJSON(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// promName rewrites a dotted instrument name into a Prometheus metric
+// name: dots and dashes become underscores, anything else non-alphanumeric
+// is dropped.
+func promName(name string) string {
+	var b strings.Builder
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_':
+			b.WriteRune(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(c)
+		case c == '.' || c == '-' || c == '/':
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

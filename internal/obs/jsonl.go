@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+)
+
+// JSONL is a goroutine-safe JSON-lines sink: each Write appends one
+// JSON-encoded value and a newline. The scheduler's decision tracer
+// writes one line per scheduled block; concurrent workers interleave
+// whole lines, never partial ones.
+type JSONL struct {
+	mu  sync.Mutex
+	buf *bufio.Writer
+	c   io.Closer
+}
+
+// NewJSONL wraps an open writer. If w is also an io.Closer, Close closes
+// it after flushing.
+func NewJSONL(w io.Writer) *JSONL {
+	j := &JSONL{buf: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		j.c = c
+	}
+	return j
+}
+
+// CreateJSONL creates (truncating) a JSONL file at path.
+func CreateJSONL(path string) (*JSONL, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewJSONL(f), nil
+}
+
+// Write appends v as one JSON line. Nil receivers are no-ops, matching
+// the registry's disabled-is-nil convention.
+func (j *JSONL) Write(v any) error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	enc := json.NewEncoder(j.buf)
+	enc.SetEscapeHTML(false)
+	return enc.Encode(v)
+}
+
+// Close flushes buffered lines and closes the underlying file, if any.
+func (j *JSONL) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	err := j.buf.Flush()
+	if j.c != nil {
+		if cerr := j.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

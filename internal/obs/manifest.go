@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+)
+
+// StampRunManifest fills the registry's manifest with the environment
+// facts every exported run should carry: Go version, platform, and the
+// git revision when one is discoverable. Callers layer run-specific
+// entries (model, engine, oracle, workers) on top with SetManifest.
+func (r *Registry) StampRunManifest() {
+	if r == nil {
+		return
+	}
+	r.SetManifest("go", runtime.Version())
+	r.SetManifest("platform", runtime.GOOS+"/"+runtime.GOARCH)
+	if rev := GitRev(); rev != "" {
+		r.SetManifest("git_rev", rev)
+	}
+}
+
+// GitRev returns the current git revision: GITHUB_SHA when CI provides
+// it, otherwise `git rev-parse HEAD`, otherwise "". Never errors — a
+// manifest without a revision is still a manifest.
+func GitRev() string {
+	if sha := os.Getenv("GITHUB_SHA"); sha != "" {
+		return sha
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

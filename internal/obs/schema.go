@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// This file is a deliberately small JSON-Schema interpreter — just the
+// subset schemas/metrics.schema.json uses — so the CI metrics-smoke job
+// can validate exported metrics documents without pulling a third-party
+// schema library into a repo that builds from the standard library
+// alone. Supported keywords: type (single or list), properties,
+// required, additionalProperties (boolean or schema),
+// patternProperties-free, items, minItems.
+
+// Schema is one parsed schema node.
+type Schema struct {
+	Type        any                `json:"type"` // string or []string
+	Properties  map[string]*Schema `json:"properties"`
+	Required    []string           `json:"required"`
+	AddlProps   json.RawMessage    `json:"additionalProperties"`
+	Items       *Schema            `json:"items"`
+	MinItems    *int               `json:"minItems"`
+	Description string             `json:"description"`
+}
+
+// ParseSchema decodes a schema document.
+func ParseSchema(data []byte) (*Schema, error) {
+	var s Schema
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("obs: bad schema: %w", err)
+	}
+	return &s, nil
+}
+
+// Validate checks a JSON document against the schema and returns every
+// violation found (nil means valid).
+func (s *Schema) Validate(doc []byte) []error {
+	var v any
+	if err := json.Unmarshal(doc, &v); err != nil {
+		return []error{fmt.Errorf("obs: document is not JSON: %w", err)}
+	}
+	var errs []error
+	s.validate("$", v, &errs)
+	return errs
+}
+
+func (s *Schema) validate(path string, v any, errs *[]error) {
+	if s == nil {
+		return
+	}
+	if !s.typeOK(v) {
+		*errs = append(*errs, fmt.Errorf("%s: got %s, want type %v", path, typeName(v), s.Type))
+		return
+	}
+	switch val := v.(type) {
+	case map[string]any:
+		for _, req := range s.Required {
+			if _, ok := val[req]; !ok {
+				*errs = append(*errs, fmt.Errorf("%s: missing required property %q", path, req))
+			}
+		}
+		addl := s.addlSchema()
+		for key, child := range val {
+			sub, ok := s.Properties[key]
+			switch {
+			case ok:
+				sub.validate(path+"."+key, child, errs)
+			case s.addlForbidden():
+				*errs = append(*errs, fmt.Errorf("%s: unexpected property %q", path, key))
+			case addl != nil:
+				addl.validate(path+"."+key, child, errs)
+			}
+		}
+	case []any:
+		if s.MinItems != nil && len(val) < *s.MinItems {
+			*errs = append(*errs, fmt.Errorf("%s: %d items, want at least %d", path, len(val), *s.MinItems))
+		}
+		if s.Items != nil {
+			for i, child := range val {
+				s.Items.validate(fmt.Sprintf("%s[%d]", path, i), child, errs)
+			}
+		}
+	}
+}
+
+// addlForbidden reports whether additionalProperties is the literal
+// false.
+func (s *Schema) addlForbidden() bool {
+	return string(s.AddlProps) == "false"
+}
+
+// addlSchema returns the additionalProperties schema when one is given
+// (rather than a boolean or nothing).
+func (s *Schema) addlSchema() *Schema {
+	if len(s.AddlProps) == 0 || s.AddlProps[0] != '{' {
+		return nil
+	}
+	var sub Schema
+	if err := json.Unmarshal(s.AddlProps, &sub); err != nil {
+		return nil
+	}
+	return &sub
+}
+
+func (s *Schema) typeOK(v any) bool {
+	switch t := s.Type.(type) {
+	case nil:
+		return true
+	case string:
+		return typeMatches(t, v)
+	case []any:
+		for _, one := range t {
+			if name, ok := one.(string); ok && typeMatches(name, v) {
+				return true
+			}
+		}
+		return false
+	}
+	return true
+}
+
+func typeMatches(name string, v any) bool {
+	switch name {
+	case "object":
+		_, ok := v.(map[string]any)
+		return ok
+	case "array":
+		_, ok := v.([]any)
+		return ok
+	case "string":
+		_, ok := v.(string)
+		return ok
+	case "number":
+		_, ok := v.(float64)
+		return ok
+	case "integer":
+		f, ok := v.(float64)
+		return ok && f == float64(int64(f))
+	case "boolean":
+		_, ok := v.(bool)
+		return ok
+	case "null":
+		return v == nil
+	}
+	return false
+}
+
+func typeName(v any) string {
+	switch v.(type) {
+	case map[string]any:
+		return "object"
+	case []any:
+		return "array"
+	case string:
+		return "string"
+	case float64:
+		return "number"
+	case bool:
+		return "boolean"
+	case nil:
+		return "null"
+	}
+	return "unknown"
+}

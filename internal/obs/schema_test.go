@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testSchema = `{
+  "type": "object",
+  "required": ["manifest", "counters"],
+  "additionalProperties": false,
+  "properties": {
+    "manifest": {
+      "type": "object",
+      "required": ["go"],
+      "additionalProperties": { "type": "string" }
+    },
+    "counters": {
+      "type": "object",
+      "additionalProperties": { "type": "integer" }
+    },
+    "spans": {
+      "type": "array",
+      "minItems": 1,
+      "items": {
+        "type": "object",
+        "required": ["name"],
+        "properties": { "name": { "type": "string" } }
+      }
+    }
+  }
+}`
+
+func mustSchema(t *testing.T, src string) *Schema {
+	t.Helper()
+	s, err := ParseSchema([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSchemaValidDocument(t *testing.T) {
+	s := mustSchema(t, testSchema)
+	doc := `{"manifest":{"go":"go1.x","platform":"linux"},"counters":{"a":1},"spans":[{"name":"x"}]}`
+	if errs := s.Validate([]byte(doc)); errs != nil {
+		t.Fatalf("valid document rejected: %v", errs)
+	}
+}
+
+func TestSchemaViolations(t *testing.T) {
+	s := mustSchema(t, testSchema)
+	cases := []struct {
+		name, doc, want string
+	}{
+		{"not json", `{`, "not JSON"},
+		{"wrong top type", `[]`, "want type object"},
+		{"missing required", `{"counters":{}}`, `missing required property "manifest"`},
+		{"unexpected property", `{"manifest":{"go":"x"},"counters":{},"zzz":1}`, `unexpected property "zzz"`},
+		{"bad manifest value", `{"manifest":{"go":1},"counters":{}}`, "want type string"},
+		{"non-integer counter", `{"manifest":{"go":"x"},"counters":{"a":1.5}}`, "want type integer"},
+		{"too few items", `{"manifest":{"go":"x"},"counters":{},"spans":[]}`, "at least 1"},
+		{"bad item", `{"manifest":{"go":"x"},"counters":{},"spans":[{"nope":1}]}`, `missing required property "name"`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			errs := s.Validate([]byte(c.doc))
+			if len(errs) == 0 {
+				t.Fatalf("accepted invalid document %s", c.doc)
+			}
+			found := false
+			for _, e := range errs {
+				if strings.Contains(e.Error(), c.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("violations %v, want one containing %q", errs, c.want)
+			}
+		})
+	}
+}
+
+// TestSchemaReportsEveryViolation checks that validation does not stop at
+// the first problem — metricscheck prints them all.
+func TestSchemaReportsEveryViolation(t *testing.T) {
+	s := mustSchema(t, testSchema)
+	doc := `{"manifest":{"go":1},"counters":{"a":"x"},"zzz":1}`
+	errs := s.Validate([]byte(doc))
+	if len(errs) < 3 {
+		t.Fatalf("got %d violations, want at least 3: %v", len(errs), errs)
+	}
+}
+
+// TestCommittedSchemaAcceptsLiveExport validates a real registry export
+// against the schema CI uses, so the schema file and the exporter cannot
+// drift apart silently.
+func TestCommittedSchemaAcceptsLiveExport(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "schemas", "metrics.schema.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ParseSchema(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRegistry()
+	r.StampRunManifest()
+	r.SetManifest("machine", "ultrasparc")
+	r.Counter("sched.ultrasparc.stall_cycles.raw").Add(12)
+	r.Gauge("sched.cache.len").Set(3)
+	r.Histogram("sched.ultrasparc.block_stalls", ExpBuckets(1, 8)).Observe(4)
+	r.StartSpan("bench.row.130.li").End()
+	r.PutExtra("slowest_rows", []SlowRowStub{{Name: "130.li", Millis: 2.25}})
+
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if errs := s.Validate([]byte(sb.String())); errs != nil {
+		t.Fatalf("live export violates committed schema: %v\n%s", errs, sb.String())
+	}
+}
+
+// SlowRowStub mirrors bench.SlowRow without importing bench (which would
+// cycle: bench imports obs).
+type SlowRowStub struct {
+	Name   string  `json:"name"`
+	Millis float64 `json:"millis"`
+}

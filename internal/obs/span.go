@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// SpanRecord is one completed phase span: a named stretch of work with
+// wall-clock and process-CPU time. Depth records lexical nesting (a span
+// started while its parent was open), so exporters can render a phase
+// tree without the registry tracking goroutine identity.
+type SpanRecord struct {
+	Name    string `json:"name"`
+	Depth   int    `json:"depth"`
+	StartNs int64  `json:"start_ns"` // offset from the registry's first span
+	WallNs  int64  `json:"wall_ns"`
+	CPUNs   int64  `json:"cpu_ns"` // process CPU time consumed during the span
+}
+
+// Span is an open phase span; End completes it. A nil *Span (from a nil
+// registry) is a no-op.
+type Span struct {
+	r     *Registry
+	name  string
+	depth int
+	start time.Time
+	cpu   int64
+}
+
+// openSpans counts spans started and not yet ended, for nesting depth.
+// Concurrent spans share the counter, so depth is approximate under
+// parallel phases — good enough for the tree rendering it feeds.
+var openSpans atomic.Int64
+
+// StartSpan opens a phase span. Spans nest: a span started while another
+// is open records a larger depth. On a nil registry the returned span is
+// nil and End is free.
+func (r *Registry) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{
+		r:     r,
+		name:  name,
+		depth: int(openSpans.Add(1)) - 1,
+		start: time.Now(),
+		cpu:   processCPUNs(),
+	}
+}
+
+// End completes the span, recording wall and CPU time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	openSpans.Add(-1)
+	wall := time.Since(s.start)
+	cpu := processCPUNs() - s.cpu
+	r := s.r
+	r.mu.Lock()
+	if r.spanEpoch.IsZero() {
+		r.spanEpoch = s.start
+	}
+	r.spans = append(r.spans, SpanRecord{
+		Name:    s.name,
+		Depth:   s.depth,
+		StartNs: s.start.Sub(r.spanEpoch).Nanoseconds(),
+		WallNs:  wall.Nanoseconds(),
+		CPUNs:   cpu,
+	})
+	r.mu.Unlock()
+}
+
+// Spans returns the completed span records in completion order.
+func (r *Registry) Spans() []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]SpanRecord(nil), r.spans...)
+}

@@ -1,0 +1,189 @@
+package pipe
+
+import (
+	"fmt"
+	"strings"
+
+	"eel/internal/sparc"
+)
+
+// This file is the stall-attribution sink both oracles feed: the hazard
+// taxonomy of the paper's §3.2 pipeline_stalls (RAW, WAR, WAW and
+// structural conflicts), counted per stall cycle. When an instruction
+// issues S cycles late, each of the S deferred candidate cycles is
+// classified by the FIRST constraint that rejected it, in the oracles'
+// shared check order: structural hazards in (relative cycle, unit)
+// order, then RAW reads in operand order, then writes — WAW before WAR
+// (the value-availability rule is tested before the last-read rule).
+// Both oracles walk the same checks in the same order, so their
+// attributions are identical count for count; FuzzStallOracle and
+// TestStallAttributionEquivalence enforce that.
+//
+// Attribution happens only on Issue, never on a Stalls probe: the list
+// scheduler probes every ready instruction per step, but only the
+// committed placement describes the emitted schedule. With no sink
+// attached (the default) the classification code is never reached.
+
+// HazardKind names why a candidate issue cycle was rejected.
+type HazardKind uint8
+
+const (
+	HazardRAW HazardKind = iota
+	HazardWAR
+	HazardWAW
+	HazardStructural
+	NumHazards
+)
+
+// String names the hazard as exported metric names spell it.
+func (k HazardKind) String() string {
+	switch k {
+	case HazardRAW:
+		return "raw"
+	case HazardWAR:
+		return "war"
+	case HazardWAW:
+		return "waw"
+	case HazardStructural:
+		return "structural"
+	}
+	return fmt.Sprintf("hazard(%d)", int(k))
+}
+
+// RegClass buckets registers for data-hazard attribution.
+type RegClass uint8
+
+const (
+	ClassInt RegClass = iota
+	ClassFloat
+	ClassCC
+	ClassY
+	NumRegClasses
+)
+
+// String names the class as exported metric names spell it.
+func (c RegClass) String() string {
+	switch c {
+	case ClassInt:
+		return "int"
+	case ClassFloat:
+		return "float"
+	case ClassCC:
+		return "cc"
+	case ClassY:
+		return "y"
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// ClassOf returns the attribution bucket of a register.
+func ClassOf(r sparc.Reg) RegClass {
+	switch {
+	case r.IsFloat():
+		return ClassFloat
+	case r == sparc.ICC || r == sparc.FCC:
+		return ClassCC
+	case r == sparc.YReg:
+		return ClassY
+	}
+	return ClassInt
+}
+
+// StallAttr accumulates classified stall cycles. It is owned by a single
+// goroutine (each scheduling worker attaches its own to its private
+// oracle) and carries plain counters; aggregation into shared telemetry
+// is the scheduler's job. The zero value is ready to use after
+// SetAttribution sizes Unit for the model.
+type StallAttr struct {
+	// Kind counts stall cycles by hazard kind.
+	Kind [NumHazards]uint64
+	// Unit counts structural stall cycles by the blocking unit
+	// (len = number of model units; sized when attached).
+	Unit []uint64
+	// Class counts data-hazard stall cycles by kind × register class
+	// (the HazardStructural row stays zero).
+	Class [NumHazards][NumRegClasses]uint64
+	// Total is the sum of all classified stall cycles.
+	Total uint64
+}
+
+// structural records one stall cycle blocked by a unit conflict.
+func (a *StallAttr) structural(unit int) {
+	a.Kind[HazardStructural]++
+	if unit < len(a.Unit) {
+		a.Unit[unit]++
+	}
+	a.Total++
+}
+
+// data records one stall cycle blocked by a register hazard.
+func (a *StallAttr) data(kind HazardKind, r sparc.Reg) {
+	a.Kind[kind]++
+	a.Class[kind][ClassOf(r)]++
+	a.Total++
+}
+
+// Reset zeroes every counter, keeping the Unit storage.
+func (a *StallAttr) Reset() {
+	*a = StallAttr{Unit: a.Unit}
+	clear(a.Unit)
+}
+
+// sizeUnits grows Unit to cover n model units.
+func (a *StallAttr) sizeUnits(n int) {
+	if len(a.Unit) < n {
+		a.Unit = append(a.Unit, make([]uint64, n-len(a.Unit))...)
+	}
+}
+
+// AddInto accumulates a's counts into b (b.Unit is grown as needed).
+func (a *StallAttr) AddInto(b *StallAttr) {
+	for k := range a.Kind {
+		b.Kind[k] += a.Kind[k]
+	}
+	b.sizeUnits(len(a.Unit))
+	for u := range a.Unit {
+		b.Unit[u] += a.Unit[u]
+	}
+	for k := range a.Class {
+		for c := range a.Class[k] {
+			b.Class[k][c] += a.Class[k][c]
+		}
+	}
+	b.Total += a.Total
+}
+
+// Equal reports whether two attributions carry identical counts
+// (differential tests compare the oracles through this).
+func (a *StallAttr) Equal(b *StallAttr) bool {
+	if a.Kind != b.Kind || a.Class != b.Class || a.Total != b.Total {
+		return false
+	}
+	n := len(a.Unit)
+	if len(b.Unit) > n {
+		n = len(b.Unit)
+	}
+	for u := 0; u < n; u++ {
+		var av, bv uint64
+		if u < len(a.Unit) {
+			av = a.Unit[u]
+		}
+		if u < len(b.Unit) {
+			bv = b.Unit[u]
+		}
+		if av != bv {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a compact one-line summary for test failures.
+func (a *StallAttr) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "total=%d", a.Total)
+	for k := HazardKind(0); k < NumHazards; k++ {
+		fmt.Fprintf(&b, " %s=%d", k, a.Kind[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,239 @@
+// Differential and overhead tests for stall attribution. External test
+// package for the same reason as fuzz_test.go: the block generator
+// transitively imports internal/pipe.
+package pipe_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"eel/internal/pipe"
+	"eel/internal/sparc"
+	"eel/internal/spawn"
+	"eel/internal/workload"
+)
+
+// TestStallAttributionEquivalence replays random blocks through both
+// oracles with attribution sinks attached, list-scheduler style (probe
+// everything, then issue), and requires the classified counts to be
+// identical count for count after every committed placement — the
+// acceptance bar for the telemetry layer: stall attribution must not
+// depend on which oracle produced it.
+func TestStallAttributionEquivalence(t *testing.T) {
+	for _, machine := range spawn.Machines() {
+		model := spawn.MustLoad(machine)
+		ref := pipe.NewState(model)
+		fast := pipe.NewFastState(model)
+		var refAttr, fastAttr pipe.StallAttr
+		ref.SetAttribution(&refAttr)
+		fast.SetAttribution(&fastAttr)
+		for seed := int64(0); seed < 20; seed++ {
+			for _, fp := range []bool{false, true} {
+				size := 8 + int(seed)*3%41
+				block := workload.RandomBlock(rand.New(rand.NewSource(seed)), size, fp)
+				ref.Reset()
+				fast.Reset()
+				refAttr.Reset()
+				fastAttr.Reset()
+				stallSum := uint64(0)
+				for i, inst := range block {
+					// Probe the tail first — probes must never attribute.
+					for j := i; j < len(block); j++ {
+						ref.Stalls(block[j])
+						fast.Stalls(block[j])
+					}
+					rs, _, rerr := ref.Issue(inst)
+					fs, _, ferr := fast.Issue(inst)
+					if (rerr == nil) != (ferr == nil) || rs != fs {
+						t.Fatalf("%s seed %d: oracle divergence predates attribution: (%d,%v) vs (%d,%v)",
+							machine, seed, rs, rerr, fs, ferr)
+					}
+					if rerr != nil {
+						continue
+					}
+					stallSum += uint64(rs)
+					if !refAttr.Equal(&fastAttr) {
+						t.Fatalf("%s seed %d inst %d (%v): attribution diverges:\n  reference: %s\n  fast:      %s",
+							machine, seed, i, inst, refAttr.String(), fastAttr.String())
+					}
+				}
+				if refAttr.Total != stallSum {
+					t.Fatalf("%s seed %d: attributed %d stall cycles, issues reported %d — probes leaked into attribution or cycles were dropped",
+						machine, seed, refAttr.Total, stallSum)
+				}
+			}
+		}
+	}
+}
+
+// TestProbesNeverAttribute holds an attribution sink while running a
+// probe storm and requires it to stay empty: only committed placements
+// describe the emitted schedule.
+func TestProbesNeverAttribute(t *testing.T) {
+	model := spawn.MustLoad(spawn.UltraSPARC)
+	block := workload.RandomBlock(rand.New(rand.NewSource(5)), 32, true)
+	ref := pipe.NewState(model)
+	fast := pipe.NewFastState(model)
+	var refAttr, fastAttr pipe.StallAttr
+	ref.SetAttribution(&refAttr)
+	fast.SetAttribution(&fastAttr)
+	// Issue a prefix so later probes actually hit hazards.
+	for _, inst := range block[:16] {
+		ref.Issue(inst)
+		fast.Issue(inst)
+	}
+	refAttr.Reset()
+	fastAttr.Reset()
+	for round := 0; round < 4; round++ {
+		for _, inst := range block[16:] {
+			ref.Stalls(inst)
+			fast.Stalls(inst)
+			if p, err := fast.Prepare(inst); err == nil {
+				fast.StallsPrepared(&p, inst)
+			}
+		}
+	}
+	if refAttr.Total != 0 || fastAttr.Total != 0 {
+		t.Fatalf("probes attributed stall cycles: reference %s, fast %s",
+			refAttr.String(), fastAttr.String())
+	}
+}
+
+// TestOracleProbePathZeroAlloc is half of the overhead guard (the timing
+// half lives in internal/core): the probe path of both oracles must not
+// allocate, with or without an attribution sink attached.
+func TestOracleProbePathZeroAlloc(t *testing.T) {
+	model := spawn.MustLoad(spawn.UltraSPARC)
+	block := workload.RandomBlock(rand.New(rand.NewSource(11)), 32, true)
+
+	ref := pipe.NewState(model)
+	fast := pipe.NewFastState(model)
+	prepared := make([]pipe.Prepared, len(block))
+	for i, inst := range block {
+		p, err := fast.Prepare(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prepared[i] = p
+	}
+	// Warm both states: issue half the block so probes contend with real
+	// pipeline state, and let lazily grown scratch buffers settle.
+	for _, inst := range block[:16] {
+		ref.MustIssue(inst)
+		fast.MustIssue(inst)
+	}
+
+	var attr pipe.StallAttr
+	for _, tc := range []struct {
+		name   string
+		attach bool
+	}{{"detached", false}, {"attached", true}} {
+		if tc.attach {
+			ref.SetAttribution(&attr)
+			fast.SetAttribution(&attr)
+		} else {
+			ref.SetAttribution(nil)
+			fast.SetAttribution(nil)
+		}
+		probes := map[string]func(){
+			"reference": func() {
+				for _, inst := range block[16:] {
+					ref.Stalls(inst)
+				}
+			},
+			"fast": func() {
+				for _, inst := range block[16:] {
+					fast.Stalls(inst)
+				}
+			},
+			"fast-prepared": func() {
+				for i := 16; i < len(block); i++ {
+					fast.StallsPrepared(&prepared[i], block[i])
+				}
+			},
+		}
+		for name, probe := range probes {
+			probe() // settle any remaining lazy growth
+			if allocs := testing.AllocsPerRun(50, probe); allocs != 0 {
+				t.Errorf("%s probe path (%s attribution): %.1f allocs/run, want 0", name, tc.name, allocs)
+			}
+		}
+	}
+}
+
+// TestAttrAccumulators covers the plain-counter plumbing the scheduler
+// aggregates through.
+func TestAttrAccumulators(t *testing.T) {
+	var a pipe.StallAttr
+	a.RecordDataForTest(pipe.HazardRAW, sparc.G1)
+	a.RecordDataForTest(pipe.HazardRAW, sparc.F0)
+	a.RecordDataForTest(pipe.HazardWAW, sparc.ICC)
+	a.RecordDataForTest(pipe.HazardWAR, sparc.YReg)
+	a.RecordStructuralForTest(0)
+	if a.Total != 5 || a.Kind[pipe.HazardRAW] != 2 || a.Kind[pipe.HazardStructural] != 1 {
+		t.Fatalf("data counts wrong: %s", a.String())
+	}
+	if a.Class[pipe.HazardRAW][pipe.ClassInt] != 1 ||
+		a.Class[pipe.HazardRAW][pipe.ClassFloat] != 1 ||
+		a.Class[pipe.HazardWAW][pipe.ClassCC] != 1 ||
+		a.Class[pipe.HazardWAR][pipe.ClassY] != 1 {
+		t.Fatalf("class buckets wrong: %+v", a.Class)
+	}
+
+	var b pipe.StallAttr
+	a.AddInto(&b)
+	a.AddInto(&b)
+	if b.Total != 10 || !a.Equal(&a) || a.Equal(&b) {
+		t.Fatalf("AddInto/Equal wrong: b=%s", b.String())
+	}
+	b.Reset()
+	if b.Total != 0 || b.Kind[pipe.HazardRAW] != 0 {
+		t.Fatalf("Reset left counts: %s", b.String())
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	cases := []struct {
+		r    sparc.Reg
+		want pipe.RegClass
+	}{
+		{sparc.G1, pipe.ClassInt},
+		{sparc.SP, pipe.ClassInt},
+		{sparc.F0, pipe.ClassFloat},
+		{sparc.FReg(31), pipe.ClassFloat},
+		{sparc.ICC, pipe.ClassCC},
+		{sparc.FCC, pipe.ClassCC},
+		{sparc.YReg, pipe.ClassY},
+	}
+	for _, c := range cases {
+		if got := pipe.ClassOf(c.r); got != c.want {
+			t.Errorf("ClassOf(%v) = %v, want %v", c.r, got, c.want)
+		}
+	}
+}
+
+func TestHazardNames(t *testing.T) {
+	// Metric names are built from these strings; lock them down.
+	wantK := map[pipe.HazardKind]string{
+		pipe.HazardRAW: "raw", pipe.HazardWAR: "war",
+		pipe.HazardWAW: "waw", pipe.HazardStructural: "structural",
+	}
+	for k, want := range wantK {
+		if k.String() != want {
+			t.Errorf("HazardKind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	wantC := map[pipe.RegClass]string{
+		pipe.ClassInt: "int", pipe.ClassFloat: "float",
+		pipe.ClassCC: "cc", pipe.ClassY: "y",
+	}
+	for c, want := range wantC {
+		if c.String() != want {
+			t.Errorf("RegClass(%d).String() = %q, want %q", c, c.String(), want)
+		}
+	}
+	if fmt.Sprint(pipe.HazardKind(99)) != "hazard(99)" {
+		t.Errorf("unknown hazard name: %v", pipe.HazardKind(99))
+	}
+}

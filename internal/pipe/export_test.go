@@ -1,0 +1,13 @@
+package pipe
+
+import "eel/internal/sparc"
+
+// Test-only exports: attr.go's recording methods are unexported because
+// only the oracles call them, but the accumulator tests live in the
+// external pipe_test package alongside the differential harness.
+
+// RecordDataForTest records one data-hazard stall cycle.
+func (a *StallAttr) RecordDataForTest(k HazardKind, r sparc.Reg) { a.data(k, r) }
+
+// RecordStructuralForTest records one structural stall cycle.
+func (a *StallAttr) RecordStructuralForTest(unit int) { a.structural(unit) }

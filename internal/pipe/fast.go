@@ -33,6 +33,12 @@ type FastState struct {
 	readCy  [sparc.NumRegs]int64
 
 	resolver Resolver
+	// attr, when non-nil, receives per-cycle hazard classification of
+	// every committed placement's stalls (see attr.go); probes never
+	// attribute. Classification rides the probe loop's own failure
+	// branches, so the disabled path costs one nil test per rejected
+	// cycle and the zero-alloc probe guarantee is untouched.
+	attr *StallAttr
 	// rcache memoizes register-access resolution and the group lookup per
 	// exact instruction (direct-mapped, overwrite on collision). A block's
 	// instructions are each resolved several times — scheduling probes,
@@ -168,6 +174,16 @@ func NewFastState(m *spawn.Model) *FastState {
 // Model returns the machine model the state was built for.
 func (s *FastState) Model() *spawn.Model { return s.model }
 
+// SetAttribution attaches (or with nil detaches) a stall-attribution
+// sink: every subsequent Issue classifies each stalled cycle by hazard
+// kind into a, identically to the reference oracle's classification.
+func (s *FastState) SetAttribution(a *StallAttr) {
+	if a != nil {
+		a.sizeUnits(s.nu)
+	}
+	s.attr = a
+}
+
 // Reset clears the state, e.g. at a basic-block boundary.
 func (s *FastState) Reset() {
 	s.clock = 0
@@ -240,20 +256,38 @@ probe:
 				continue
 			}
 			if counts[e.Unit]-s.ring[(abs%s.horizon)*int64(s.nu)+int64(e.Unit)] < int32(e.Num) {
+				if commit && s.attr != nil {
+					s.attr.structural(e.Unit)
+				}
 				continue probe
 			}
 		}
 		// RAW: a read must not precede the value's availability.
 		for _, r := range reads {
 			if t+int64(r.Cycle) < s.writeCy[r.Reg] {
+				if commit && s.attr != nil {
+					s.attr.data(HazardRAW, r.Reg)
+				}
 				continue probe
 			}
 		}
 		// WAW and WAR: the new value must become available strictly after
-		// the previous value's availability and after its last read.
+		// the previous value's availability and after its last read. The
+		// availability rule is tested first, so an attributed cycle that
+		// violates both counts as WAW — the same tie the reference
+		// classifier breaks the same way.
 		for _, w := range writes {
 			avail := t + int64(w.Cycle)
-			if avail <= s.writeCy[w.Reg] || avail <= s.readCy[w.Reg] {
+			if avail <= s.writeCy[w.Reg] {
+				if commit && s.attr != nil {
+					s.attr.data(HazardWAW, w.Reg)
+				}
+				continue probe
+			}
+			if avail <= s.readCy[w.Reg] {
+				if commit && s.attr != nil {
+					s.attr.data(HazardWAR, w.Reg)
+				}
 				continue probe
 			}
 		}

@@ -18,9 +18,12 @@ import (
 // both oracles on every shipped machine: before each issue, every
 // remaining instruction is probed (Stalls), then the next one is issued —
 // exactly the query mix core.Scheduler produces. Probe results, issue
-// placements, errors and clocks must match instruction for instruction.
-// Each block runs twice through the same pair of states with a Reset in
-// between, so state reuse (the scheduler pools oracles) is covered too.
+// placements, errors and clocks must match instruction for instruction,
+// and with attribution sinks attached, the per-hazard stall
+// classification must match count for count after every successful
+// issue. Each block runs twice through the same pair of states with a
+// Reset in between, so state reuse (the scheduler pools oracles) is
+// covered too.
 func FuzzStallOracle(f *testing.F) {
 	f.Add(int64(1), 8, false)
 	f.Add(int64(2), 24, false)
@@ -36,16 +39,21 @@ func FuzzStallOracle(f *testing.F) {
 			block := workload.RandomBlock(rand.New(rand.NewSource(seed)), size, fp)
 			ref := pipe.NewState(model)
 			fast := pipe.NewFastState(model)
+			var refAttr, fastAttr pipe.StallAttr
+			ref.SetAttribution(&refAttr)
+			fast.SetAttribution(&fastAttr)
 			for round := 0; round < 2; round++ {
 				ref.Reset()
 				fast.Reset()
-				replayBlock(t, machine, round, block, ref, fast)
+				refAttr.Reset()
+				fastAttr.Reset()
+				replayBlock(t, machine, round, block, ref, fast, &refAttr, &fastAttr)
 			}
 		}
 	})
 }
 
-func replayBlock(t *testing.T, machine spawn.Machine, round int, block []sparc.Inst, ref *pipe.State, fast *pipe.FastState) {
+func replayBlock(t *testing.T, machine spawn.Machine, round int, block []sparc.Inst, ref *pipe.State, fast *pipe.FastState, refAttr, fastAttr *pipe.StallAttr) {
 	t.Helper()
 	for i, inst := range block {
 		// Probe every not-yet-issued instruction, as list scheduling does.
@@ -62,6 +70,14 @@ func replayBlock(t *testing.T, machine spawn.Machine, round int, block []sparc.I
 		if rs != fs || ri != fi || (rerr == nil) != (ferr == nil) {
 			t.Fatalf("%s round %d: issue %d: (%d,%d,%v) vs (%d,%d,%v) for %v",
 				machine, round, i, rs, ri, rerr, fs, fi, ferr, inst)
+		}
+		// Attribution compares only after successful issues: on the
+		// (unreachable with shipped descriptions) error paths the
+		// reference oracle records the cycles it walked before giving
+		// up while the fast oracle may short-circuit.
+		if rerr == nil && !refAttr.Equal(fastAttr) {
+			t.Fatalf("%s round %d: attribution diverges after issue %d (%v):\n  reference: %s\n  fast:      %s",
+				machine, round, i, inst, refAttr.String(), fastAttr.String())
 		}
 		if ref.Clock() != fast.Clock() {
 			t.Fatalf("%s round %d: clocks diverge after %d issues: %d vs %d",

@@ -49,6 +49,10 @@ type State struct {
 	// scratch buffers reused across calls.
 	resolver Resolver
 	held     [][]int
+	// attr, when non-nil, receives per-cycle hazard classification of
+	// every committed placement's stalls (see attr.go). Probes never
+	// attribute, so the scheduler's probe storm stays untouched.
+	attr *StallAttr
 }
 
 // NewState returns an empty pipeline state for a machine model.
@@ -61,6 +65,16 @@ func NewState(m *spawn.Model) *State {
 
 // Model returns the machine model the state was built for.
 func (s *State) Model() *spawn.Model { return s.model }
+
+// SetAttribution attaches (or with nil detaches) a stall-attribution
+// sink: every subsequent Issue classifies each stalled cycle by hazard
+// kind into a. The sink's Unit table is sized for the model.
+func (s *State) SetAttribution(a *StallAttr) {
+	if a != nil {
+		a.sizeUnits(len(s.model.Units))
+	}
+	s.attr = a
+}
 
 // Reset clears the state, e.g. at a basic-block boundary.
 func (s *State) Reset() {
@@ -143,6 +157,9 @@ func (s *State) place(inst sparc.Inst, commit bool) (stalls int, issueCycle int6
 			return 0, 0, nil, fmt.Errorf("pipe: cannot place %v within %d cycles", inst, maxStall)
 		}
 		if !s.fits(g, held, t, reads, writes) {
+			if commit && s.attr != nil {
+				s.classify(held, t, reads, writes)
+			}
 			continue
 		}
 		stalls = int(t - s.clock)
@@ -155,23 +172,30 @@ func (s *State) place(inst sparc.Inst, commit bool) (stalls int, issueCycle int6
 
 // heldProfile returns, per relative cycle, the unit copies the group holds
 // during that cycle (releases in a cycle apply before acquisitions, per the
-// paper's rule).
+// paper's rule). Row storage is recycled across calls, so a steady-state
+// probe allocates nothing.
 func (s *State) heldProfile(g *spawn.Group) [][]int {
-	s.held = s.held[:0]
-	cur := make([]int, len(s.model.Units))
+	nu := len(s.model.Units)
 	span := len(g.Acquire)
+	for len(s.held) < span {
+		s.held = append(s.held, make([]int, nu))
+	}
+	held := s.held[:span]
 	for k := 0; k < span; k++ {
+		row := held[k]
+		if k == 0 {
+			clear(row)
+		} else {
+			copy(row, held[k-1])
+		}
 		for _, e := range g.Release[k] {
-			cur[e.Unit] -= e.Num
+			row[e.Unit] -= e.Num
 		}
 		for _, e := range g.Acquire[k] {
-			cur[e.Unit] += e.Num
+			row[e.Unit] += e.Num
 		}
-		row := make([]int, len(cur))
-		copy(row, cur)
-		s.held = append(s.held, row)
 	}
-	return s.held
+	return held
 }
 
 // fits reports whether the instruction can issue at absolute cycle t.
@@ -200,6 +224,43 @@ func (s *State) fits(g *spawn.Group, held [][]int, t int64, reads, writes []RegA
 		}
 	}
 	return true
+}
+
+// classify attributes one rejected candidate issue cycle t to the first
+// failing constraint, in fits's exact check order, and records it in
+// s.attr. It is only called for cycles fits rejected, so one check must
+// fail.
+func (s *State) classify(held [][]int, t int64, reads, writes []RegAccess) {
+	for k, row := range held {
+		abs := t + int64(k)
+		for u, n := range row {
+			if n > 0 && s.unitsFree(abs, u) < n {
+				s.attr.structural(u)
+				return
+			}
+		}
+	}
+	for _, r := range reads {
+		if t+int64(r.Cycle) < s.writeCy[r.Reg] {
+			s.attr.data(HazardRAW, r.Reg)
+			return
+		}
+	}
+	for _, w := range writes {
+		avail := t + int64(w.Cycle)
+		if avail <= s.writeCy[w.Reg] {
+			s.attr.data(HazardWAW, w.Reg)
+			return
+		}
+		if avail <= s.readCy[w.Reg] {
+			s.attr.data(HazardWAR, w.Reg)
+			return
+		}
+	}
+	// Unreachable while classify mirrors fits; counting it keeps the
+	// totals honest if the two ever drift.
+	s.attr.Kind[HazardStructural]++
+	s.attr.Total++
 }
 
 // commit records the placed instruction's effects on the state.

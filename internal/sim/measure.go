@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"eel/internal/exe"
+	"eel/internal/obs"
 	"eel/internal/spawn"
 )
 
@@ -43,6 +44,13 @@ type Measurer struct {
 	cfg     TimingConfig
 	timings sync.Pool // *Timing
 	pages   pagePool
+
+	// Obs, when non-nil, receives per-run simulator telemetry: run,
+	// instruction and cycle totals plus a phase span per measured run.
+	// Set it before the first Run; recording is a handful of atomic
+	// adds per simulation (runs are seconds of simulated work, so the
+	// cost disappears), and a nil registry records nothing.
+	Obs *obs.Registry
 }
 
 // NewMeasurer returns a Measurer for a machine model and timing config.
@@ -64,10 +72,19 @@ func (m *Measurer) Run(x *exe.Exe, maxSteps uint64) (*Interp, *Timing, Result, e
 	} else {
 		tm = NewProgramTiming(m.model, m.cfg, x.TextBase, len(x.Text))
 	}
+	span := m.Obs.StartSpan("sim.run")
 	res, err := in.Run(maxSteps, tm.Observe)
+	span.End()
 	if err != nil {
+		m.Obs.Counter("sim.runs_failed").Inc()
 		m.Release(in, tm)
 		return nil, nil, res, err
+	}
+	if m.Obs != nil {
+		m.Obs.Counter("sim.runs_total").Inc()
+		m.Obs.Counter("sim.instructions_total").Add(int64(res.Steps))
+		m.Obs.Counter("sim.cycles_total").Add(tm.Cycles())
+		m.Obs.Histogram("sim.run_cycles", obs.ExpBuckets(1<<10, 24)).Observe(tm.Cycles())
 	}
 	return in, tm, res, nil
 }
