@@ -1,0 +1,342 @@
+// Command eelload replays a deterministic edit-request stream against a
+// running eeld daemon at a configurable rate and concurrency, and
+// reports latency percentiles and throughput in `go test -bench` text
+// format, so cmd/benchdiff can record them as a series in
+// BENCH_sched.json and gate regressions in CI.
+//
+//	eelload -addr http://127.0.0.1:8379 -duration 10s -concurrency 8
+//	    10-second schedule-request run, bench lines on stdout
+//	eelload -mode edit -op reschedule -requests 20 \
+//	    -save-input in.exe -save-output out.exe
+//	    edit-mode run that keeps the input image and the daemon's first
+//	    response for offline byte-diffing against eelprof
+//	eelload ... | benchdiff -update -series eeld-load
+//	    record the run
+//
+// The request stream is seeded (-seed): two runs with the same flags
+// replay byte-identical requests, which keeps CI latency comparisons
+// honest and lets the smoke job diff daemon output against the offline
+// tool. Every response is checked (status 200 and, in schedule mode,
+// response shape); any failure makes the exit status non-zero.
+//
+// After the run eelload scrapes /metrics?format=json and reports the
+// daemon's schedule-cache hit rate; -min-hit-rate N turns that into an
+// assertion, which the CI warm-restart check uses to prove a spill
+// actually warmed the cache.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eel/internal/sparc"
+	"eel/internal/spawn"
+	"eel/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "eelload:", err)
+		os.Exit(1)
+	}
+}
+
+type result struct {
+	ns  int64
+	err error
+}
+
+func run() error {
+	var (
+		addr        = flag.String("addr", "http://127.0.0.1:8379", "daemon base URL")
+		mode        = flag.String("mode", "schedule", "request mode: schedule or edit")
+		op          = flag.String("op", "reschedule", "edit mode: reschedule or instrument")
+		machine     = flag.String("machine", "ultrasparc", "scheduling model")
+		duration    = flag.Duration("duration", 0, "run for this long (overrides -requests)")
+		requests    = flag.Int("requests", 100, "total requests when -duration is unset")
+		rate        = flag.Float64("rate", 0, "target requests/second across all workers (0 = unthrottled)")
+		concurrency = flag.Int("concurrency", 4, "concurrent client workers")
+		blocks      = flag.Int("blocks", 24, "blocks per schedule request")
+		unique      = flag.Int("unique", 16, "distinct request payloads cycled through")
+		seed        = flag.Int64("seed", 1, "request stream seed")
+		tenant      = flag.String("tenant", "", "X-Eeld-Tenant header value")
+		workloadID  = flag.String("workload", "130.li", "edit mode: synthetic benchmark to generate")
+		dynInsts    = flag.Uint64("dyninsts", 1<<13, "edit mode: dynamic instructions in the generated image")
+		saveInput   = flag.String("save-input", "", "edit mode: write the request image here")
+		saveOutput  = flag.String("save-output", "", "edit mode: write the first response body here")
+		minHitRate  = flag.Float64("min-hit-rate", -1, "fail unless the daemon's cache hit rate is at least this percent")
+		benchName   = flag.String("bench-name", "EeldLoad", "benchmark family name on output lines")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: eelload [flags]")
+		os.Exit(2)
+	}
+
+	payloads, path, err := buildPayloads(*mode, *op, *machine, *blocks, *unique, *seed, *workloadID, *dynInsts, *saveInput)
+	if err != nil {
+		return err
+	}
+
+	client := &http.Client{Timeout: 60 * time.Second}
+	var (
+		next     atomic.Int64 // request sequence number
+		firstOut []byte
+		firstMu  sync.Mutex
+	)
+	deadline := time.Time{}
+	if *duration > 0 {
+		deadline = time.Now().Add(*duration)
+	}
+	// Shared throttle: a token drips every 1/rate seconds; workers take
+	// one per request.
+	var throttle <-chan time.Time
+	if *rate > 0 {
+		t := time.NewTicker(time.Duration(float64(time.Second) / *rate))
+		defer t.Stop()
+		throttle = t.C
+	}
+
+	results := make(chan result, 4096)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				seq := next.Add(1) - 1
+				if deadline.IsZero() {
+					if seq >= int64(*requests) {
+						return
+					}
+				} else if time.Now().After(deadline) {
+					return
+				}
+				if throttle != nil {
+					<-throttle
+				}
+				body := payloads[seq%int64(len(payloads))]
+				t0 := time.Now()
+				out, err := post(client, *addr+path, *tenant, body, *mode)
+				results <- result{ns: time.Since(t0).Nanoseconds(), err: err}
+				if err == nil && seq == 0 {
+					firstMu.Lock()
+					firstOut = out
+					firstMu.Unlock()
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	var lat []int64
+	var failures int
+	var firstErr error
+	go func() {
+		defer close(done)
+		for r := range results {
+			if r.err != nil {
+				failures++
+				if firstErr == nil {
+					firstErr = r.err
+				}
+				continue
+			}
+			lat = append(lat, r.ns)
+		}
+	}()
+	wg.Wait()
+	close(results)
+	<-done
+	elapsed := time.Since(start)
+
+	if len(lat) == 0 {
+		if firstErr != nil {
+			return fmt.Errorf("no successful requests: %w", firstErr)
+		}
+		return fmt.Errorf("no requests completed")
+	}
+	if *saveOutput != "" {
+		firstMu.Lock()
+		err := os.WriteFile(*saveOutput, firstOut, 0o644)
+		firstMu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) int64 {
+		i := int(p / 100 * float64(len(lat)-1))
+		return lat[i]
+	}
+	var sum int64
+	for _, ns := range lat {
+		sum += ns
+	}
+	rps := float64(len(lat)) / elapsed.Seconds()
+
+	// Bench lines on stdout, ParseGoBench-compatible: the mean line
+	// doubles as throughput (ns/op is the reciprocal of req/s).
+	n := len(lat)
+	fmt.Printf("Benchmark%s/mode=%s/p50 %d %d ns/op\n", *benchName, *mode, n, pct(50))
+	fmt.Printf("Benchmark%s/mode=%s/p90 %d %d ns/op\n", *benchName, *mode, n, pct(90))
+	fmt.Printf("Benchmark%s/mode=%s/p99 %d %d ns/op\n", *benchName, *mode, n, pct(99))
+	fmt.Printf("Benchmark%s/mode=%s/mean %d %d ns/op\n", *benchName, *mode, n, sum/int64(n))
+
+	fmt.Fprintf(os.Stderr,
+		"eelload: %d ok, %d failed in %.2fs (%.1f req/s); p50 %.2fms p90 %.2fms p99 %.2fms\n",
+		n, failures, elapsed.Seconds(), rps,
+		float64(pct(50))/1e6, float64(pct(90))/1e6, float64(pct(99))/1e6)
+
+	if err := reportCache(client, *addr, *minHitRate); err != nil {
+		return err
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d request(s) failed (first: %v)", failures, firstErr)
+	}
+	return nil
+}
+
+// buildPayloads prepares the deterministic request bodies and the
+// endpoint path. Schedule mode cycles -unique random block sets; edit
+// mode generates one synthetic image and posts it repeatedly.
+func buildPayloads(mode, op, machine string, blocks, unique int, seed int64, workloadID string, dynInsts uint64, saveInput string) ([][]byte, string, error) {
+	switch mode {
+	case "schedule":
+		rng := rand.New(rand.NewSource(seed))
+		payloads := make([][]byte, unique)
+		for i := range payloads {
+			req := struct {
+				Machine string     `json:"machine"`
+				Blocks  [][]uint32 `json:"blocks"`
+			}{Machine: machine, Blocks: make([][]uint32, blocks)}
+			for b := range req.Blocks {
+				insts := workload.RandomBlock(rng, 4+rng.Intn(12), false)
+				words := make([]uint32, len(insts))
+				for j, inst := range insts {
+					w, err := sparc.Encode(inst)
+					if err != nil {
+						return nil, "", err
+					}
+					words[j] = w
+				}
+				req.Blocks[b] = words
+			}
+			body, err := json.Marshal(req)
+			if err != nil {
+				return nil, "", err
+			}
+			payloads[i] = body
+		}
+		return payloads, "/v1/schedule", nil
+	case "edit":
+		if op != "reschedule" && op != "instrument" {
+			return nil, "", fmt.Errorf("unknown -op %q", op)
+		}
+		b, ok := workload.ByName(workloadID, spawn.Machine(machine))
+		if !ok {
+			return nil, "", fmt.Errorf("unknown -workload %q", workloadID)
+		}
+		x, err := workload.Generate(b, workload.Config{
+			Machine:         spawn.Machine(machine),
+			DynamicInsts:    dynInsts,
+			Seed:            seed,
+			SkipCalibration: true,
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		image := x.Marshal()
+		if saveInput != "" {
+			if err := os.WriteFile(saveInput, image, 0o644); err != nil {
+				return nil, "", err
+			}
+		}
+		return [][]byte{image}, fmt.Sprintf("/v1/edit?op=%s&machine=%s", op, machine), nil
+	default:
+		return nil, "", fmt.Errorf("unknown -mode %q (want schedule or edit)", mode)
+	}
+}
+
+// post sends one request and verifies the response is usable, so a
+// daemon that answers 200 with garbage still fails the run.
+func post(client *http.Client, url, tenant string, body []byte, mode string) ([]byte, error) {
+	req, err := http.NewRequest("POST", url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	if mode == "schedule" {
+		req.Header.Set("Content-Type", "application/json")
+	} else {
+		req.Header.Set("Content-Type", "application/octet-stream")
+	}
+	if tenant != "" {
+		req.Header.Set("X-Eeld-Tenant", tenant)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, truncate(out, 200))
+	}
+	if mode == "schedule" {
+		var parsed struct {
+			Blocks [][]uint32 `json:"blocks"`
+		}
+		if err := json.Unmarshal(out, &parsed); err != nil || len(parsed.Blocks) == 0 {
+			return nil, fmt.Errorf("malformed schedule response: %s", truncate(out, 200))
+		}
+	}
+	return out, nil
+}
+
+// reportCache scrapes the daemon's cache gauges and optionally asserts
+// a minimum hit rate.
+func reportCache(client *http.Client, addr string, minHitRate float64) error {
+	resp, err := client.Get(addr + "/metrics?format=json")
+	if err != nil {
+		return fmt.Errorf("scraping metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	var export struct {
+		Gauges map[string]int64 `json:"gauges"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&export); err != nil {
+		return fmt.Errorf("parsing metrics: %w", err)
+	}
+	hits := export.Gauges["eeld.cache.hits"]
+	misses := export.Gauges["eeld.cache.misses"]
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = 100 * float64(hits) / float64(hits+misses)
+	}
+	fmt.Fprintf(os.Stderr, "eelload: daemon cache: %d hits / %d misses (%.1f%% hit rate)\n", hits, misses, rate)
+	if minHitRate >= 0 && rate < minHitRate {
+		return fmt.Errorf("cache hit rate %.1f%% below required %.1f%%", rate, minHitRate)
+	}
+	return nil
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) > n {
+		return string(b[:n]) + "..."
+	}
+	return string(b)
+}

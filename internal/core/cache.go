@@ -37,6 +37,7 @@ type cacheShard struct {
 
 type cacheEntry struct {
 	key        uint64
+	seed       uint64       // key prefix (model + options); kept for the spill
 	block      []sparc.Inst // private copy of the input, for collision checks
 	out        []sparc.Inst // private copy of the schedule
 	prev, next *cacheEntry
@@ -160,7 +161,7 @@ func (c *Cache) put(seed uint64, block, out []sparc.Inst) {
 	if e, ok := sh.entries[k]; ok {
 		// Same key, possibly a colliding block: last write wins, like the
 		// unsharded map it replaces. Output never depends on cache content.
-		e.block, e.out = blockCopy, outCopy
+		e.seed, e.block, e.out = seed, blockCopy, outCopy
 		sh.moveToFront(e)
 		sh.mu.Unlock()
 		return
@@ -168,7 +169,7 @@ func (c *Cache) put(seed uint64, block, out []sparc.Inst) {
 	if len(sh.entries) >= sh.cap {
 		sh.evictOldest()
 	}
-	e := &cacheEntry{key: k, block: blockCopy, out: outCopy}
+	e := &cacheEntry{key: k, seed: seed, block: blockCopy, out: outCopy}
 	sh.entries[k] = e
 	sh.pushFront(e)
 	sh.mu.Unlock()

@@ -1,0 +1,89 @@
+package daemon
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// admission implements the server's request admission policy: a fixed
+// number of inflight slots, a bounded queue of requests waiting for a
+// slot (overflow is rejected with 503, never buffered unboundedly), and
+// an optional per-tenant cap on concurrently admitted requests (429).
+type admission struct {
+	sem         chan struct{} // inflight slots
+	queueDepth  int
+	tenantQuota int
+
+	mu      sync.Mutex
+	queued  int            // admitted, waiting for a slot
+	tenants map[string]int // admitted (queued or inflight) per tenant
+}
+
+func newAdmission(inflight, queueDepth, tenantQuota int) *admission {
+	return &admission{
+		sem:         make(chan struct{}, inflight),
+		queueDepth:  queueDepth,
+		tenantQuota: tenantQuota,
+		tenants:     make(map[string]int),
+	}
+}
+
+// admit blocks until the request holds an inflight slot, or rejects it
+// immediately. On success it returns the release func (call exactly
+// once, when the request finishes) and code 0; on rejection release is
+// nil and code/msg describe the failure.
+func (a *admission) admit(tenant string, draining bool) (release func(), code int, msg string) {
+	if draining {
+		return nil, 503, "draining"
+	}
+	a.mu.Lock()
+	if a.tenantQuota > 0 && a.tenants[tenant] >= a.tenantQuota {
+		a.mu.Unlock()
+		return nil, 429, fmt.Sprintf("tenant %q exceeds its quota of %d concurrent requests", tenant, a.tenantQuota)
+	}
+	if a.queued >= a.queueDepth {
+		a.mu.Unlock()
+		return nil, 503, "admission queue full"
+	}
+	a.queued++
+	a.tenants[tenant]++
+	a.mu.Unlock()
+
+	a.sem <- struct{}{} // wait for an inflight slot
+
+	a.mu.Lock()
+	a.queued--
+	a.mu.Unlock()
+	return func() {
+		<-a.sem
+		a.mu.Lock()
+		if a.tenants[tenant]--; a.tenants[tenant] == 0 {
+			delete(a.tenants, tenant)
+		}
+		a.mu.Unlock()
+	}, 0, ""
+}
+
+// Inflight reports how many requests currently hold a slot.
+func (a *admission) Inflight() int { return len(a.sem) }
+
+// Queued reports how many admitted requests are waiting for a slot.
+func (a *admission) Queued() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.queued
+}
+
+// rejectSlug maps an admission failure message to the label value used
+// in eeld.rejects_total{reason=...}.
+func rejectSlug(msg string) string {
+	switch {
+	case msg == "draining":
+		return "draining"
+	case strings.Contains(msg, "quota"):
+		return "tenant_quota"
+	default:
+		return "queue_full"
+	}
+}

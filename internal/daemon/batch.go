@@ -1,0 +1,137 @@
+package daemon
+
+import (
+	"time"
+
+	"eel/internal/core"
+	"eel/internal/obs"
+	"eel/internal/sparc"
+	"eel/internal/spawn"
+)
+
+// The batcher coalesces blocks from concurrent /v1/schedule requests
+// into single core.ScheduleBlocks calls: one batcher per machine model,
+// flushing when the window elapses after the first arrival or when the
+// batch reaches BatchMaxBlocks. Batching only changes wall clock, never
+// bytes — blocks carry no cross-block scheduler state, so a block's
+// schedule is identical whether it travels alone or in a thousand-block
+// batch (the same property ScheduleBlocks itself relies on).
+
+type batchKey struct {
+	machine spawn.Machine
+}
+
+type batchReq struct {
+	blocks [][]sparc.Inst
+	resp   chan batchResp
+}
+
+type batchResp struct {
+	blocks [][]sparc.Inst
+	err    error
+}
+
+type batcher struct {
+	sched     *core.Scheduler
+	ch        chan batchReq
+	stop      chan struct{}
+	window    time.Duration
+	maxBlocks int
+	reg       *obs.Registry
+}
+
+// batcherFor returns (starting if needed) the batcher for a model.
+func (s *Server) batcherFor(model *spawn.Model) *batcher {
+	key := batchKey{machine: model.Machine}
+	s.batchMu.Lock()
+	defer s.batchMu.Unlock()
+	if b, ok := s.batchers[key]; ok {
+		return b
+	}
+	b := &batcher{
+		sched: core.New(model, core.Options{
+			Workers: s.cfg.Workers,
+			Cache:   s.cache,
+			Obs:     s.reg,
+		}),
+		ch:        make(chan batchReq),
+		stop:      make(chan struct{}),
+		window:    s.cfg.BatchWindow,
+		maxBlocks: s.cfg.BatchMaxBlocks,
+		reg:       s.reg,
+	}
+	s.batchers[key] = b
+	s.batchWG.Add(1)
+	go func() {
+		defer s.batchWG.Done()
+		b.loop()
+	}()
+	return b
+}
+
+// scheduleBatched routes one request's blocks through the model's
+// batcher and waits for its slice of the batch result.
+func (s *Server) scheduleBatched(model *spawn.Model, blocks [][]sparc.Inst) ([][]sparc.Inst, error) {
+	b := s.batcherFor(model)
+	req := batchReq{blocks: blocks, resp: make(chan batchResp, 1)}
+	b.ch <- req
+	r := <-req.resp
+	return r.blocks, r.err
+}
+
+// stopBatchers shuts the batch loops down. Callers must guarantee no
+// request is in a batcher (Drain runs after http.Server.Shutdown, which
+// waits out every in-flight handler).
+func (s *Server) stopBatchers() {
+	s.batchMu.Lock()
+	for _, b := range s.batchers {
+		close(b.stop)
+	}
+	s.batchMu.Unlock()
+	s.batchWG.Wait()
+}
+
+func (b *batcher) loop() {
+	for {
+		var first batchReq
+		select {
+		case <-b.stop:
+			return
+		case first = <-b.ch:
+		}
+		reqs := []batchReq{first}
+		n := len(first.blocks)
+		timer := time.NewTimer(b.window)
+	gather:
+		for n < b.maxBlocks {
+			select {
+			case r := <-b.ch:
+				reqs = append(reqs, r)
+				n += len(r.blocks)
+			case <-timer.C:
+				break gather
+			}
+		}
+		timer.Stop()
+
+		flat := make([][]sparc.Inst, 0, n)
+		for _, r := range reqs {
+			flat = append(flat, r.blocks...)
+		}
+		out, err := b.sched.ScheduleBlocks(flat)
+		if err != nil {
+			for _, r := range reqs {
+				r.resp <- batchResp{err: err}
+			}
+			continue
+		}
+		off := 0
+		for _, r := range reqs {
+			r.resp <- batchResp{blocks: out[off : off+len(r.blocks)]}
+			off += len(r.blocks)
+		}
+		b.reg.Counter("eeld.batches_total").Inc()
+		b.reg.Histogram("eeld.batch.requests", obs.ExpBuckets(1, 10)).Observe(int64(len(reqs)))
+		b.reg.Histogram("eeld.batch.blocks", obs.ExpBuckets(1, 14)).Observe(int64(n))
+	}
+}

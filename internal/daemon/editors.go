@@ -1,0 +1,83 @@
+package daemon
+
+import (
+	"crypto/sha256"
+	"sync"
+
+	"eel/internal/core"
+	"eel/internal/eel"
+	"eel/internal/exe"
+)
+
+// editorLRU caches analyzed executables for /v1/edit: opening an image
+// decodes its text and builds its CFG, which dominates small-edit
+// latency, so repeat edits of the same image (the common service
+// pattern: one tool iterating on one binary) skip straight to
+// scheduling. Keyed by content digest — identical bytes, identical
+// analysis. All cached Editors share the server's one schedule cache.
+type editorLRU struct {
+	mu    sync.Mutex
+	cap   int
+	m     map[[sha256.Size]byte]*eel.Editor
+	order [][sha256.Size]byte // MRU first
+}
+
+func newEditorLRU(cap int) *editorLRU {
+	return &editorLRU{cap: cap, m: make(map[[sha256.Size]byte]*eel.Editor)}
+}
+
+func (l *editorLRU) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.m)
+}
+
+// open returns the cached Editor for an image, analyzing it on miss.
+// Analysis runs outside the lock, so concurrent first-opens of distinct
+// images don't serialize; a doubled first-open of the same image costs
+// one redundant analysis and keeps a single Editor.
+func (l *editorLRU) open(body []byte, cache *core.Cache) (*eel.Editor, error) {
+	key := sha256.Sum256(body)
+	l.mu.Lock()
+	if ed, ok := l.m[key]; ok {
+		l.touch(key)
+		l.mu.Unlock()
+		return ed, nil
+	}
+	l.mu.Unlock()
+
+	x, err := exe.Unmarshal(body)
+	if err != nil {
+		return nil, err
+	}
+	ed, err := eel.OpenShared(x, cache)
+	if err != nil {
+		return nil, err
+	}
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if cached, ok := l.m[key]; ok { // lost the race; keep the first
+		l.touch(key)
+		return cached, nil
+	}
+	l.m[key] = ed
+	l.order = append([][sha256.Size]byte{key}, l.order...)
+	if len(l.order) > l.cap {
+		last := l.order[len(l.order)-1]
+		l.order = l.order[:len(l.order)-1]
+		delete(l.m, last)
+	}
+	return ed, nil
+}
+
+// touch moves a key to the MRU position. Caller holds l.mu.
+func (l *editorLRU) touch(key [sha256.Size]byte) {
+	for i, k := range l.order {
+		if k == key {
+			copy(l.order[1:i+1], l.order[:i])
+			l.order[0] = key
+			return
+		}
+	}
+}

@@ -12,28 +12,72 @@ package eel
 
 import (
 	"fmt"
+	"sync"
 
 	"eel/internal/cfg"
 	"eel/internal/core"
 	"eel/internal/exe"
+	"eel/internal/obs"
 	"eel/internal/pipe"
 	"eel/internal/sparc"
 	"eel/internal/spawn"
 )
 
 // Editor holds an opened executable and its analysis.
+//
+// An Editor is safe for concurrent use: the executable, its decoded
+// instructions and its control-flow graph are immutable after Open, the
+// schedule cache is internally sharded and locked, and every Edit call
+// builds its output into private state. Schedulers are memoized per
+// editing configuration (schedulerFor), so concurrent Edit calls with
+// the same options share one worker pool and one cache instead of paying
+// pool spin-up per call — the shape a long-running service (cmd/eeld)
+// needs.
 type Editor struct {
 	exe   *exe.Exe
 	insts []sparc.Inst
 	graph *cfg.Graph
 	// cache memoizes per-block schedules across this editor's Edit
-	// passes, so repeated editing of hot blocks skips rescheduling.
+	// passes, so repeated editing of hot blocks skips rescheduling. It
+	// may be shared with other Editors (OpenShared).
 	cache *core.Cache
+
+	// schedMu guards scheds, the per-configuration scheduler memo.
+	// core.Scheduler is safe for concurrent ScheduleBlocks use, so one
+	// instance serves every in-flight Edit with the same options.
+	schedMu sync.Mutex
+	scheds  map[schedKey]*core.Scheduler
+}
+
+// schedKey identifies a memoizable scheduling configuration: everything
+// in core.Options that changes scheduler construction. Tracing
+// schedulers are never memoized (the sink is per-run state).
+type schedKey struct {
+	machine         spawn.Machine
+	conservativeMem bool
+	chainFirst      bool
+	noReorder       bool
+	oracle          core.Oracle
+	engine          core.Engine
+	workers         int
+	cache           *core.Cache
+	obs             *obs.Registry
 }
 
 // Open decodes an executable's text segment and builds its control-flow
-// graph.
+// graph. The editor gets a private schedule cache; services sharing one
+// cache across many executables use OpenShared.
 func Open(x *exe.Exe) (*Editor, error) {
+	return OpenShared(x, core.NewCache(0))
+}
+
+// OpenShared is Open with a caller-supplied schedule cache, so many
+// Editors (one per admitted executable, in cmd/eeld) share one sharded,
+// spillable cache. cache must not be nil.
+func OpenShared(x *exe.Exe, cache *core.Cache) (*Editor, error) {
+	if cache == nil {
+		return nil, fmt.Errorf("eel: OpenShared needs a cache")
+	}
 	if err := x.Validate(); err != nil {
 		return nil, err
 	}
@@ -45,7 +89,7 @@ func Open(x *exe.Exe) (*Editor, error) {
 	if err != nil {
 		return nil, fmt.Errorf("eel: %w", err)
 	}
-	return &Editor{exe: x, insts: insts, graph: graph, cache: core.NewCache(0)}, nil
+	return &Editor{exe: x, insts: insts, graph: graph, cache: cache}, nil
 }
 
 // Exe returns the opened executable.
@@ -147,7 +191,7 @@ func (ed *Editor) Edit(tool Instrumenter, opts Options) (*exe.Exe, error) {
 			if sc.Cache == nil {
 				sc.Cache = ed.cache
 			}
-			sched = core.New(opts.Machine, sc)
+			sched = ed.schedulerFor(opts.Machine, sc)
 		}
 	}
 
@@ -288,6 +332,40 @@ func (ed *Editor) Edit(tool Instrumenter, opts Options) (*exe.Exe, error) {
 		return nil, fmt.Errorf("eel: edited executable invalid: %w", err)
 	}
 	return out, nil
+}
+
+// schedulerFor returns the memoized scheduler for a configuration,
+// building it on first use. One core.Scheduler per configuration means
+// concurrent Edit calls share its worker pool, scratch arenas and cache
+// wiring instead of rebuilding them per request. Tracing runs get a
+// fresh scheduler: the trace sink is per-run state, and traced blocks
+// bypass the cache anyway.
+func (ed *Editor) schedulerFor(model *spawn.Model, sc core.Options) *core.Scheduler {
+	if sc.Trace != nil {
+		return core.New(model, sc)
+	}
+	key := schedKey{
+		machine:         model.Machine,
+		conservativeMem: sc.ConservativeMem,
+		chainFirst:      sc.ChainFirst,
+		noReorder:       sc.NoReorder,
+		oracle:          sc.Oracle,
+		engine:          sc.Engine,
+		workers:         sc.Workers,
+		cache:           sc.Cache,
+		obs:             sc.Obs,
+	}
+	ed.schedMu.Lock()
+	defer ed.schedMu.Unlock()
+	if s, ok := ed.scheds[key]; ok {
+		return s
+	}
+	s := core.New(model, sc)
+	if ed.scheds == nil {
+		ed.scheds = make(map[schedKey]*core.Scheduler)
+	}
+	ed.scheds[key] = s
+	return s
 }
 
 // Reschedule is a pure rescheduling pass: no instrumentation, every block

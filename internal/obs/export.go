@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 )
 
@@ -101,14 +102,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 		b.WriteString("} 1\n")
 	}
-	for _, name := range sortedKeys(e.Counters) {
-		n := promName(name)
-		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", n, n, e.Counters[name])
-	}
-	for _, name := range sortedKeys(e.Gauges) {
-		n := promName(name)
-		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", n, n, e.Gauges[name])
-	}
+	writeFamilies(&b, "counter", e.Counters)
+	writeFamilies(&b, "gauge", e.Gauges)
 	for _, name := range sortedKeys(e.Histograms) {
 		h := e.Histograms[name]
 		n := promName(name)
@@ -142,6 +137,64 @@ func (r *Registry) WriteFile(path string) error {
 		err = cerr
 	}
 	return err
+}
+
+// writeFamilies renders counters or gauges grouped by metric family, so
+// labeled instruments (see LabeledName) share one # TYPE line: the
+// family is the name up to the label block, and every series of a
+// family is emitted under it in sorted order.
+func writeFamilies(b *strings.Builder, typ string, series map[string]int64) {
+	byFamily := make(map[string][]string)
+	for name := range series {
+		fam, _ := SplitLabels(name)
+		byFamily[promName(fam)] = append(byFamily[promName(fam)], name)
+	}
+	for _, fam := range sortedKeys(byFamily) {
+		fmt.Fprintf(b, "# TYPE %s %s\n", fam, typ)
+		names := byFamily[fam]
+		sort.Strings(names)
+		for _, name := range names {
+			_, labels := SplitLabels(name)
+			fmt.Fprintf(b, "%s%s %d\n", fam, labels, series[name])
+		}
+	}
+}
+
+// LabeledName builds an instrument name carrying a Prometheus-style
+// label block: LabeledName("eeld.requests_total", "code", "429") is
+// `eeld.requests_total{code="429"}`. The JSON exporter keeps the name
+// verbatim; the Prometheus exporter splits it back into one series per
+// label set under a single family. Pairs are key, value, key, value...;
+// label values are quote- and backslash-escaped.
+func LabeledName(base string, pairs ...string) string {
+	if len(pairs) == 0 || len(pairs)%2 != 0 {
+		return base
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i := 0; i < len(pairs); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(promName(pairs[i]))
+		b.WriteString("=\"")
+		v := strings.ReplaceAll(pairs[i+1], `\`, `\\`)
+		v = strings.ReplaceAll(v, `"`, `\"`)
+		b.WriteString(v)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// SplitLabels splits an instrument name into its family and its label
+// block ("" when unlabeled, `{k="v"}` verbatim otherwise).
+func SplitLabels(name string) (family, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], name[i:]
+	}
+	return name, ""
 }
 
 // promName rewrites a dotted instrument name into a Prometheus metric

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLabeledName(t *testing.T) {
+	got := LabeledName("eeld.requests_total", "code", "429")
+	if got != `eeld.requests_total{code="429"}` {
+		t.Fatalf("LabeledName = %q", got)
+	}
+	if got := LabeledName("x", "k", `a"b\c`); got != `x{k="a\"b\\c"}` {
+		t.Fatalf("escaping: %q", got)
+	}
+	if got := LabeledName("x"); got != "x" {
+		t.Fatalf("no pairs: %q", got)
+	}
+	fam, labels := SplitLabels(`eeld.requests_total{code="429"}`)
+	if fam != "eeld.requests_total" || labels != `{code="429"}` {
+		t.Fatalf("SplitLabels = %q, %q", fam, labels)
+	}
+}
+
+// TestPrometheusLabeledFamilies: one # TYPE line per family, every
+// labeled series under it, and unlabeled metrics untouched.
+func TestPrometheusLabeledFamilies(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(LabeledName("eeld.requests_total", "code", "200")).Add(7)
+	r.Counter(LabeledName("eeld.requests_total", "code", "429")).Add(2)
+	r.Counter("eeld.batches_total").Add(3)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE eeld_requests_total counter\n",
+		"eeld_requests_total{code=\"200\"} 7\n",
+		"eeld_requests_total{code=\"429\"} 2\n",
+		"eeld_batches_total 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("export missing %q:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "# TYPE eeld_requests_total counter"); n != 1 {
+		t.Fatalf("family TYPE line emitted %d times:\n%s", n, out)
+	}
+}
