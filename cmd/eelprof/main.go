@@ -7,6 +7,7 @@
 //	eelprof -run prog.exe                                  # run and report
 //	eelprof -workers 8 -o prog.prof prog.exe               # 8 scheduling workers
 //	eelprof -cachestats -o prog.prof prog.exe              # schedule-cache report
+//	eelprof -engine optimal -reschedule -o p.opt prog.exe  # exact B&B schedules
 //	eelprof -metrics run.json -o prog.prof prog.exe        # telemetry export
 //	eelprof -trace traces/ -o prog.prof prog.exe           # decision traces
 //	eelprof -pprof :6060 -o prog.prof prog.exe             # live profiling
@@ -61,7 +62,7 @@ func run() error {
 		maxSteps   = flag.Uint64("maxsteps", 1<<30, "execution step limit with -run")
 		workers    = flag.Int("workers", 0, "scheduling worker pool size (0 = GOMAXPROCS)")
 		oracleName = flag.String("oracle", "fast", "stall oracle: fast (compiled tables) or reference (map-based ground truth)")
-		engineName = flag.String("engine", "fast", "scheduling engine: fast (arena/priority-queue) or reference (pairwise rescan)")
+		engineName = flag.String("engine", "fast", "scheduling engine: fast (arena/priority-queue), reference (pairwise rescan), or optimal (branch-and-bound exact)")
 		cacheStats = flag.Bool("cachestats", false, "report schedule-cache statistics after editing")
 		metricsOut = flag.String("metrics", "", "write telemetry to this file (JSON, or Prometheus text for .prom)")
 		traceDir   = flag.String("trace", "", "write per-block scheduling decision traces into this directory")
@@ -97,6 +98,12 @@ func run() error {
 		reg.SetManifest("oracle", oracle.String())
 		reg.SetManifest("engine", engine.String())
 		reg.SetManifest("workers", strconv.Itoa(*workers))
+	}
+	// The optimal engine withholds unproven schedules from the cache;
+	// -cachestats reports those bypasses, which needs a registry even
+	// when -metrics is off.
+	if *cacheStats && engine == core.EngineOptimal && reg == nil {
+		reg = obs.NewRegistry()
 	}
 	var trace core.TraceSink
 	if *traceDir != "" {
@@ -150,6 +157,7 @@ func run() error {
 		// non-zero exit — intact.
 		if *cacheStats {
 			reportCacheStats(ed.Cache(), true)
+			reportOptimalCacheStats(engine, reg, true)
 		}
 		if reg != nil && *metricsOut != "" {
 			reg.SetManifest("incomplete", "true")
@@ -162,6 +170,7 @@ func run() error {
 
 	if *cacheStats {
 		reportCacheStats(ed.Cache(), false)
+		reportOptimalCacheStats(engine, reg, false)
 	}
 	if reg != nil && *metricsOut != "" {
 		if err := reg.WriteFile(*metricsOut); err != nil {
@@ -244,4 +253,25 @@ func reportCacheStats(c *core.Cache, incomplete bool) {
 	fmt.Fprintf(os.Stderr,
 		"eelprof: schedule cache%s: %d/%d blocks, %d hits / %d misses (%.1f%% hit rate), %d/%d shards occupied (max %d, mean %.1f entries)\n",
 		marker, c.Len(), c.Capacity(), hits, misses, rate, used, len(shards), maxLen, mean)
+}
+
+// reportOptimalCacheStats extends the -cachestats report for the exact
+// engine: a schedule whose search ran out of budget carries no
+// optimality certificate and is never inserted into the cache, so the
+// bypass count explains occupancy gaps the plain cache report can't.
+func reportOptimalCacheStats(engine core.Engine, reg *obs.Registry, incomplete bool) {
+	if engine != core.EngineOptimal || reg == nil {
+		return
+	}
+	c := reg.Counters()
+	marker := ""
+	if incomplete {
+		marker = " (incomplete)"
+	}
+	fmt.Fprintf(os.Stderr,
+		"eelprof: optimal engine%s: %d/%d blocks proven optimal, %d improved (%d cycles), %d budget-exhausted, %d unproven schedules bypassed the cache\n",
+		marker,
+		c["core.optimal_proven_total"], c["core.optimal_blocks_total"],
+		c["core.optimal_improved_total"], c["core.optimal_cycles_saved_total"],
+		c["core.optimal_budget_exhausted"], c["core.optimal_cache_bypass_total"])
 }

@@ -255,16 +255,30 @@ func cacheSeed(model *spawn.Model, opts Options) uint64 {
 	}
 	// The two oracles produce identical schedules, but keeping their cache
 	// entries apart means a fast-oracle regression can never leak results
-	// into a reference-oracle pass (or vice versa). Likewise for the two
-	// scheduling engines.
+	// into a reference-oracle pass (or vice versa). Likewise for the
+	// scheduling engines — and EngineOptimal can genuinely emit different
+	// (better) schedules, so mixing its entries with greedy ones would be
+	// wrong, not just risky.
 	if opts.Oracle == OracleReference {
 		bits |= 8
 	}
 	if opts.Engine == EngineReference {
 		bits |= 16
 	}
+	if opts.Engine == EngineOptimal {
+		bits |= 32
+	}
 	h ^= bits
 	h *= fnvPrime
+	if opts.Engine == EngineOptimal {
+		// Search-effort knobs decide which blocks get certified optimal
+		// schedules, so they are part of the key: a warm cache can never
+		// change what a given configuration emits.
+		h ^= uint64(uint32(opts.optimalBudget()))
+		h *= fnvPrime
+		h ^= uint64(uint32(opts.optimalMaxInsts()))
+		h *= fnvPrime
+	}
 	if h == 0 {
 		h = 1
 	}

@@ -84,12 +84,22 @@ const (
 	// full-rescan ready loop — the ground truth EngineFast is
 	// differentially tested against, block for block.
 	EngineReference
+	// EngineOptimal runs the fast greedy pass and then a branch-and-bound
+	// exact search (optimal.go) that either proves the greedy schedule
+	// optimal or replaces it with a provably cheaper one. Search effort is
+	// bounded by Options.OptimalBudget/OptimalMaxInsts; blocks exceeding
+	// the budget keep the greedy result. A ground-truth mode for
+	// measuring the optimality gap, not a production default.
+	EngineOptimal
 )
 
 // String names the engine as the CLIs' -engine flag spells it.
 func (e Engine) String() string {
-	if e == EngineReference {
+	switch e {
+	case EngineReference:
 		return "reference"
+	case EngineOptimal:
+		return "optimal"
 	}
 	return "fast"
 }
@@ -101,8 +111,10 @@ func ParseEngine(s string) (Engine, error) {
 		return EngineFast, nil
 	case "reference":
 		return EngineReference, nil
+	case "optimal":
+		return EngineOptimal, nil
 	}
-	return 0, fmt.Errorf("core: unknown engine %q (want fast or reference)", s)
+	return 0, fmt.Errorf("core: unknown engine %q (want fast, reference or optimal)", s)
 }
 
 // Options tune the scheduler. The zero value is the paper's configuration.
@@ -124,11 +136,24 @@ type Options struct {
 	Oracle Oracle
 	// Engine selects the scheduling implementation (the fast arena-based
 	// path by default; the original pairwise builder and rescan loop for
-	// A/B checks). Both produce byte-identical schedules; the fast
-	// engine's soundness rests on oracle monotonicity, so schedulers
+	// A/B checks). Fast and reference produce byte-identical schedules;
+	// EngineOptimal additionally runs a branch-and-bound exact search
+	// after the greedy pass and may emit a provably cheaper order. The
+	// fast engine's soundness rests on oracle monotonicity, so schedulers
 	// driven by custom oracles (NewWith, NewWithFactory) always run the
 	// reference engine regardless of this option.
 	Engine Engine
+	// OptimalBudget bounds the exact search (EngineOptimal) in
+	// branch-and-bound nodes — speculative issues — per block. 0 selects
+	// DefaultOptimalBudget. A block whose search exhausts the budget
+	// keeps the greedy schedule and counts as budget-exhausted (the
+	// core.optimal_budget_exhausted metric). The budget is in nodes, not
+	// wall time, so runs are deterministic and CI goldens stay stable.
+	OptimalBudget int
+	// OptimalMaxInsts caps the body size EngineOptimal will search at
+	// all; larger blocks fall back to greedy immediately (counted as both
+	// oversized and budget-exhausted). 0 selects DefaultOptimalMaxInsts.
+	OptimalMaxInsts int
 	// Workers bounds the worker pool used by ScheduleBlocks. 0 means
 	// runtime.GOMAXPROCS(0); negative forces the sequential path. The
 	// output is byte-identical regardless of the worker count: blocks
@@ -193,6 +218,7 @@ type Scheduler struct {
 	cacheID uint64     // cache key seed; 0 when results are uncacheable
 	fastOK  bool       // oracle known monotone, EngineFast allowed
 	tel     *telemetry // nil unless Options.Obs carries a registry
+	opt     *optAgg    // nil unless Engine == EngineOptimal (optimal.go)
 }
 
 // worker bundles one goroutine's private scheduling state: a stall
@@ -207,6 +233,13 @@ type worker struct {
 	// keptOriginal marks (for tracing) that the never-costs-more guard
 	// rejected the last block's greedy schedule.
 	keptOriginal bool
+	// opt is the worker's exact-search state, allocated lazily on the
+	// first block an EngineOptimal scheduler searches (optimal.go).
+	opt *optSearch
+	// optUnproven marks the last block's search as inconclusive (budget
+	// exhausted or oversized); such results stay out of the schedule
+	// cache so every cached optimal-engine entry is a certified optimum.
+	optUnproven bool
 }
 
 // New returns a scheduler driven by the machine's SADL pipeline model —
@@ -228,6 +261,9 @@ func New(model *spawn.Model, opts Options) *Scheduler {
 	// options that change schedules fully determine the output.
 	s.cacheID = cacheSeed(model, opts)
 	s.tel = newTelemetry(opts.Obs, model)
+	if opts.Engine == EngineOptimal {
+		s.opt = newOptAgg(opts.Obs)
+	}
 	return s
 }
 
@@ -300,6 +336,9 @@ func (s *Scheduler) scheduleBlockOn(w *worker, idx int, block []sparc.Inst) ([]s
 	}
 	if c := s.opts.Cache; c != nil && s.cacheID != 0 && !tracing {
 		if out, ok := c.get(s.cacheID, block); ok {
+			// Unproven optimal-engine results never enter the cache, so a
+			// hit is a certified optimum and counts as proven.
+			s.opt.hitProven(len(block))
 			if s.tel != nil {
 				s.telemetryBlock(w, block, out, true)
 			}
@@ -309,7 +348,14 @@ func (s *Scheduler) scheduleBlockOn(w *worker, idx int, block []sparc.Inst) ([]s
 		if err != nil {
 			return nil, err
 		}
-		c.put(s.cacheID, block, out)
+		if s.opt != nil && w.optUnproven {
+			// A budget-exhausted search is just the greedy fallback with no
+			// certificate; caching it would let a later run mistake it for
+			// a proven optimum. Skip the put and count the bypass.
+			s.opt.cacheBypassed()
+		} else {
+			c.put(s.cacheID, block, out)
+		}
 		if s.tel != nil {
 			s.telemetryBlock(w, block, out, false)
 		}
@@ -452,6 +498,14 @@ func (s *Scheduler) guardedSchedule(w *worker, block []sparc.Inst) ([]sparc.Inst
 	if err != nil {
 		return nil, err
 	}
+	if s.opt != nil {
+		// EngineOptimal: try to beat the greedy schedule with the exact
+		// search. A strictly better order invalidates the greedy pass's
+		// prepared pricing, so its cost is re-measured below (after = -1).
+		if best, changed := s.optimalImprove(w, block, out); changed {
+			out, after = best, -1
+		}
+	}
 	// An unchanged sequence models exactly the original's cycles, so the
 	// guard trivially keeps it — no cost passes needed. (Compiler-ordered
 	// code frequently reschedules to itself: original index is the final
@@ -569,7 +623,10 @@ func (s *Scheduler) scheduleStraightLine(w *worker, body []sparc.Inst) ([]sparc.
 	if len(body) <= 1 {
 		return body, -1, nil
 	}
-	if s.fastOK && s.opts.Engine == EngineFast {
+	if s.fastOK && s.opts.Engine != EngineReference {
+		// EngineOptimal also takes this path: the greedy fast pass both
+		// seeds the exact search's incumbent and fills the scratch arenas
+		// (dependence graph, prepared probes) the search reuses.
 		sc := &w.sc
 		pp, usePrep := w.p.(preparedPipeline)
 		if usePrep {

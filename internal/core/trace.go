@@ -74,8 +74,8 @@ func NewJSONLTraceSink(j *obs.JSONL) TraceSink { return jsonlTraceSink{j: j} }
 // engineName is the effective engine label for traces: schedulers with
 // custom oracles always run the reference engine (see Options.Engine).
 func (s *Scheduler) engineName() string {
-	if s.fastOK && s.opts.Engine == EngineFast {
-		return EngineFast.String()
+	if s.fastOK && s.opts.Engine != EngineReference {
+		return s.opts.Engine.String()
 	}
 	return EngineReference.String()
 }

@@ -1,0 +1,99 @@
+// Checkpoint save/restore tests. External package for the same reason as
+// fuzz_test.go: the block generator transitively imports internal/pipe.
+package pipe_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"eel/internal/pipe"
+	"eel/internal/spawn"
+	"eel/internal/workload"
+)
+
+// TestCheckpointRoundTrip drives a FastState to an arbitrary mid-block
+// state, saves it, issues an arbitrary suffix, restores, and requires the
+// state to behave exactly as a twin that replayed only the prefix: every
+// probe and issue of a second suffix must match stall for stall, cycle
+// for cycle. This is the contract the branch-and-bound scheduler's
+// backtracking rests on.
+func TestCheckpointRoundTrip(t *testing.T) {
+	for _, machine := range spawn.Machines() {
+		model := spawn.MustLoad(machine)
+		for seed := int64(1); seed <= 8; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			prefix := workload.RandomBlock(rng, 6, seed%2 == 0)
+			detour := workload.RandomBlock(rng, 5, seed%2 == 1)
+			suffix := workload.RandomBlock(rng, 6, false)
+
+			s := pipe.NewFastState(model)
+			twin := pipe.NewFastState(model)
+			for _, inst := range prefix {
+				s.MustIssue(inst)
+				twin.MustIssue(inst)
+			}
+			var cp pipe.Checkpoint
+			s.Save(&cp)
+			for _, inst := range detour {
+				s.MustIssue(inst)
+			}
+			s.Restore(&cp)
+			if s.Clock() != twin.Clock() {
+				t.Fatalf("%s seed %d: clock %d after restore, twin has %d",
+					machine, seed, s.Clock(), twin.Clock())
+			}
+			for i, inst := range suffix {
+				gotSt, gotErr := s.Stalls(inst)
+				wantSt, wantErr := twin.Stalls(inst)
+				if gotSt != wantSt || (gotErr == nil) != (wantErr == nil) {
+					t.Fatalf("%s seed %d: probe %d after restore: (%d,%v) vs twin (%d,%v)",
+						machine, seed, i, gotSt, gotErr, wantSt, wantErr)
+				}
+				gs, gi, ge := s.Issue(inst)
+				ws, wi, we := twin.Issue(inst)
+				if gs != ws || gi != wi || (ge == nil) != (we == nil) {
+					t.Fatalf("%s seed %d: issue %d after restore: (%d,%d,%v) vs twin (%d,%d,%v)",
+						machine, seed, i, gs, gi, ge, ws, wi, we)
+				}
+			}
+		}
+	}
+}
+
+// TestCheckpointReuse reuses one Checkpoint across saves (storage must be
+// recycled, not aliased) and checks restoring twice from the same save is
+// idempotent.
+func TestCheckpointReuse(t *testing.T) {
+	model := spawn.MustLoad(spawn.Machines()[0])
+	rng := rand.New(rand.NewSource(42))
+	s := pipe.NewFastState(model)
+	var cp pipe.Checkpoint
+	for round := 0; round < 3; round++ {
+		block := workload.RandomBlock(rng, 8, round == 1)
+		s.Reset()
+		s.MustIssue(block[0])
+		s.Save(&cp)
+		want := s.Clock()
+		for _, inst := range block[1:] {
+			s.MustIssue(inst)
+		}
+		s.Restore(&cp)
+		s.Restore(&cp)
+		if s.Clock() != want {
+			t.Fatalf("round %d: clock %d after double restore, want %d", round, s.Clock(), want)
+		}
+		// The restored state must accept the rest of the block exactly as
+		// the original pass did (same final clock).
+		for _, inst := range block[1:] {
+			s.MustIssue(inst)
+		}
+		end := s.Clock()
+		s.Restore(&cp)
+		for _, inst := range block[1:] {
+			s.MustIssue(inst)
+		}
+		if s.Clock() != end {
+			t.Fatalf("round %d: replay after restore diverged: %d vs %d", round, s.Clock(), end)
+		}
+	}
+}

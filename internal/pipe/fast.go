@@ -124,6 +124,19 @@ type Prepared struct {
 // Group returns the prepared instruction's timing group.
 func (p *Prepared) Group() *spawn.Group { return p.g }
 
+// Accesses returns the prepared instruction's resolved register reads
+// and writes — the exact constraints placeResolved enforces, which is
+// what makes latencies derived from them sound lower bounds on oracle
+// behavior (the scheduler's exact search builds its critical-path bound
+// from these). Both slices are nil when the accesses spilled the inline
+// arrays (see big); callers must treat that as "unknown", never "none".
+func (p *Prepared) Accesses() (reads, writes []RegAccess) {
+	if p.big {
+		return nil, nil
+	}
+	return p.reads[:p.nr], p.writes[:p.nw]
+}
+
 // Prepare resolves inst once for repeated prepared probes.
 func (s *FastState) Prepare(inst sparc.Inst) (Prepared, error) {
 	var p Prepared
