@@ -16,13 +16,18 @@
 //	    exit nonzero if any benchmark regressed more than 30%
 //
 // -update stamps a run manifest (Go version, platform, git revision,
-// plus any -manifest k=v pairs) alongside the recorded series; manifests
-// of other series in the baseline file are carried forward untouched, so
-// the committed file says where every number came from.
+// GOMAXPROCS and core count, any `# manifest: k=v` lines in the bench
+// input, plus any -manifest k=v pairs) alongside the recorded series;
+// manifests of other series in the baseline file are carried forward
+// untouched, so the committed file says where every number came from.
 //
 // Comparison is advisory by default (always exit 0): shared CI runners
 // are noisy enough that a hard gate on ns/op would flake. -fail-over
-// opts into a threshold for local use.
+// opts into a threshold for local use — and is itself downgraded back
+// to advisory (with a warning) when the baseline's manifest records a
+// different core count than the current run, because parallel
+// benchmarks scale with cores and such a delta compares machines, not
+// code.
 package main
 
 import (
@@ -31,6 +36,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 
 	"eel/internal/bench"
@@ -82,7 +88,7 @@ func run() error {
 		return fmt.Errorf("at most one input file (default stdin)")
 	}
 
-	results, cpu, err := bench.ParseGoBench(in)
+	results, cpu, inManifest, err := bench.ParseGoBenchManifest(in)
 	if err != nil {
 		return err
 	}
@@ -90,6 +96,7 @@ func run() error {
 		return fmt.Errorf("no benchmark lines in input")
 	}
 	results = bench.MedianByName(results)
+	runManifest := seriesManifest(inManifest, manifest)
 
 	if *update {
 		pf, err := bench.ReadPerfFile(*baseline)
@@ -103,7 +110,7 @@ func run() error {
 			pf.Series = make(map[string][]bench.PerfResult)
 		}
 		pf.Series[*series] = results
-		pf.SetSeriesManifest(*series, seriesManifest(manifest))
+		pf.SetSeriesManifest(*series, runManifest)
 		if cpu != "" {
 			pf.CPU = cpu
 		}
@@ -140,6 +147,18 @@ func run() error {
 	deltas := bench.Compare(base, results)
 	fmt.Print(bench.FormatDeltas(deltas))
 	if *failOver > 0 {
+		// A hard gate is only meaningful when both runs had the same
+		// parallelism available: parallel benchmarks scale with core
+		// count, so a 1-core runner "regresses" a 8-core baseline by
+		// construction. Manifests without core stamps keep the gate.
+		if key, bv, cv, mismatch := bench.CoreCountMismatch(pf.Manifests[*series], runManifest); mismatch {
+			fmt.Fprintf(os.Stderr,
+				"benchdiff: baseline series %q recorded with %s=%s but this run has %s=%s — core counts differ, downgrading -fail-over to advisory\n",
+				*series, key, bv, key, cv)
+			*failOver = 0
+		}
+	}
+	if *failOver > 0 {
 		for _, d := range deltas {
 			if d.Pct > *failOver {
 				return fmt.Errorf("%s regressed %.1f%% (> %.1f%%)", d.Name, d.Pct, *failOver)
@@ -150,15 +169,22 @@ func run() error {
 }
 
 // seriesManifest builds the run manifest recorded with -update: the
-// environment facts first, then operator-supplied pairs (which win on
-// key collision — an explicit -manifest is a deliberate override).
-func seriesManifest(extra map[string]string) map[string]string {
+// environment facts first (including the runner's core count, which
+// gates future hard comparisons), then `# manifest:` pairs from the
+// bench input, then operator -manifest pairs. Later sources win on key
+// collision — an explicit -manifest is a deliberate override.
+func seriesManifest(input, extra map[string]string) map[string]string {
 	m := map[string]string{
-		"go":       runtime.Version(),
-		"platform": runtime.GOOS + "/" + runtime.GOARCH,
+		"go":         runtime.Version(),
+		"platform":   runtime.GOOS + "/" + runtime.GOARCH,
+		"gomaxprocs": strconv.Itoa(runtime.GOMAXPROCS(0)),
+		"numcpu":     strconv.Itoa(runtime.NumCPU()),
 	}
 	if rev := obs.GitRev(); rev != "" {
 		m["git_rev"] = rev
+	}
+	for k, v := range input {
+		m[k] = v
 	}
 	for k, v := range extra {
 		m[k] = v

@@ -22,7 +22,11 @@
 // After the run eelload scrapes /metrics?format=json and reports the
 // daemon's schedule-cache hit rate; -min-hit-rate N turns that into an
 // assertion, which the CI warm-restart check uses to prove a spill
-// actually warmed the cache.
+// actually warmed the cache. The scrape also emits the daemon's host
+// core count and worker-pool size as `# manifest:` lines on stdout, so
+// a piped `benchdiff -update` stamps them into the recorded series and
+// later hard-gate comparisons across differently-sized daemons are
+// downgraded to advisory.
 package main
 
 import (
@@ -321,6 +325,18 @@ func reportCache(client *http.Client, addr string, minHitRate float64) error {
 	if err := json.NewDecoder(resp.Body).Decode(&export); err != nil {
 		return fmt.Errorf("parsing metrics: %w", err)
 	}
+	// Manifest comment lines on stdout, next to the bench lines: the
+	// daemon's host core count and scheduler pool size determine how the
+	// latency numbers scale, so `benchdiff -update` records them in the
+	// eeld-load series manifest and refuses to hard-gate comparisons
+	// across daemons with different parallelism.
+	if cores, ok := export.Gauges["eeld.host_cores"]; ok {
+		fmt.Printf("# manifest: eeld_numcpu=%d\n", cores)
+	}
+	if workers, ok := export.Gauges["eeld.pool_workers"]; ok {
+		fmt.Printf("# manifest: eeld_workers=%d\n", workers)
+	}
+
 	hits := export.Gauges["eeld.cache.hits"]
 	misses := export.Gauges["eeld.cache.misses"]
 	rate := 0.0

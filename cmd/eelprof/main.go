@@ -11,6 +11,12 @@
 //	eelprof -metrics run.json -o prog.prof prog.exe        # telemetry export
 //	eelprof -trace traces/ -o prog.prof prog.exe           # decision traces
 //	eelprof -pprof :6060 -o prog.prof prog.exe             # live profiling
+//	eelprof -gen 130.li -reschedule -o p.sched             # synthetic input
+//
+// -gen replaces the executable argument with a deterministic synthetic
+// workload image (the same generator eelload's edit mode uses), so CI
+// jobs can byte-diff schedules — e.g. across worker counts — without a
+// binary corpus checked into the repo.
 //
 // With -run the tool executes the (possibly instrumented) program on the
 // functional simulator with the machine's hardware timing model and prints
@@ -41,6 +47,7 @@ import (
 	"eel/internal/qpt"
 	"eel/internal/sim"
 	"eel/internal/spawn"
+	"eel/internal/workload"
 )
 
 func main() {
@@ -67,10 +74,13 @@ func run() error {
 		metricsOut = flag.String("metrics", "", "write telemetry to this file (JSON, or Prometheus text for .prom)")
 		traceDir   = flag.String("trace", "", "write per-block scheduling decision traces into this directory")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
+		gen        = flag.String("gen", "", "synthesize the input from this workload (e.g. 130.li) instead of reading an executable")
+		genInsts   = flag.Uint64("gen-dyninsts", 1<<13, "with -gen: dynamic instructions in the generated image")
+		genSeed    = flag.Int64("gen-seed", 1, "with -gen: workload generator seed")
 	)
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: eelprof [flags] executable")
+	if (*gen == "" && flag.NArg() != 1) || (*gen != "" && flag.NArg() != 0) {
+		fmt.Fprintln(os.Stderr, "usage: eelprof [flags] executable\n       eelprof -gen workload [flags]")
 		os.Exit(2)
 	}
 	if *pprofAddr != "" {
@@ -121,7 +131,21 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	x, err := exe.ReadFile(flag.Arg(0))
+	var x *exe.Exe
+	if *gen != "" {
+		b, ok := workload.ByName(*gen, spawn.Machine(*machine))
+		if !ok {
+			return fmt.Errorf("unknown -gen workload %q", *gen)
+		}
+		x, err = workload.Generate(b, workload.Config{
+			Machine:         spawn.Machine(*machine),
+			DynamicInsts:    *genInsts,
+			Seed:            *genSeed,
+			SkipCalibration: true,
+		})
+	} else {
+		x, err = exe.ReadFile(flag.Arg(0))
+	}
 	if err != nil {
 		return err
 	}

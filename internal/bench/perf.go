@@ -56,11 +56,34 @@ func (f *PerfFile) SetSeriesManifest(series string, manifest map[string]string) 
 // cross-machine comparisons. Names are normalized by stripping the
 // -GOMAXPROCS suffix Go appends on multi-core runners.
 func ParseGoBench(r io.Reader) (results []PerfResult, cpu string, err error) {
+	results, cpu, _, err = ParseGoBenchManifest(r)
+	return results, cpu, err
+}
+
+// ParseGoBenchManifest is ParseGoBench plus the run-manifest comment
+// lines load generators emit alongside their bench lines:
+//
+//	# manifest: key=value
+//
+// Go's bench harness never prints such lines, so they pass through a
+// pipeline untouched; tools that produce bench-format output (eelload)
+// use them to record facts about the measured system — most importantly
+// its core count, which gates whether a recorded series is comparable.
+func ParseGoBenchManifest(r io.Reader) (results []PerfResult, cpu string, manifest map[string]string, err error) {
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if rest, ok := strings.CutPrefix(line, "cpu:"); ok {
 			cpu = strings.TrimSpace(rest)
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# manifest:"); ok {
+			if k, v, ok := strings.Cut(strings.TrimSpace(rest), "="); ok && k != "" {
+				if manifest == nil {
+					manifest = make(map[string]string)
+				}
+				manifest[strings.TrimSpace(k)] = strings.TrimSpace(v)
+			}
 			continue
 		}
 		if !strings.HasPrefix(line, "Benchmark") {
@@ -73,13 +96,13 @@ func ParseGoBench(r io.Reader) (results []PerfResult, cpu string, err error) {
 		res := PerfResult{Name: normalizeBenchName(f[0])}
 		res.Iters, err = strconv.ParseInt(f[1], 10, 64)
 		if err != nil {
-			return nil, "", fmt.Errorf("bench: bad iteration count in %q: %w", line, err)
+			return nil, "", nil, fmt.Errorf("bench: bad iteration count in %q: %w", line, err)
 		}
 		// The remainder is value/unit pairs.
 		for i := 2; i+1 < len(f); i += 2 {
 			v, err := strconv.ParseFloat(f[i], 64)
 			if err != nil {
-				return nil, "", fmt.Errorf("bench: bad value in %q: %w", line, err)
+				return nil, "", nil, fmt.Errorf("bench: bad value in %q: %w", line, err)
 			}
 			switch f[i+1] {
 			case "ns/op":
@@ -92,7 +115,27 @@ func ParseGoBench(r io.Reader) (results []PerfResult, cpu string, err error) {
 		}
 		results = append(results, res)
 	}
-	return results, cpu, sc.Err()
+	return results, cpu, manifest, sc.Err()
+}
+
+// coreCountKeys are the manifest keys that record how many cores the
+// measured system had. Parallel benchmarks scale with them, so a hard
+// regression gate across differing values compares machines, not code.
+var coreCountKeys = []string{"numcpu", "gomaxprocs", "eeld_numcpu", "eeld_workers"}
+
+// CoreCountMismatch reports the first core-count manifest key recorded
+// on both sides with differing values. A key missing from either side
+// is not a mismatch — old baselines without core-count stamps keep
+// whatever gate the operator asked for.
+func CoreCountMismatch(base, cur map[string]string) (key, baseVal, curVal string, mismatch bool) {
+	for _, k := range coreCountKeys {
+		bv, okb := base[k]
+		cv, okc := cur[k]
+		if okb && okc && bv != cv {
+			return k, bv, cv, true
+		}
+	}
+	return "", "", "", false
 }
 
 // normalizeBenchName strips the trailing -GOMAXPROCS that `go test`

@@ -129,3 +129,61 @@ func TestCompare(t *testing.T) {
 		t.Errorf("formatted table missing deltas:\n%s", out)
 	}
 }
+
+func TestParseGoBenchManifest(t *testing.T) {
+	in := `# manifest: eeld_numcpu=8
+# manifest: eeld_workers = 4
+# manifest: malformed-no-equals
+cpu: Fake CPU
+BenchmarkLoad 10 100 ns/op
+`
+	results, cpu, manifest, err := ParseGoBenchManifest(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu != "Fake CPU" || len(results) != 1 {
+		t.Fatalf("cpu=%q results=%+v", cpu, results)
+	}
+	want := map[string]string{"eeld_numcpu": "8", "eeld_workers": "4"}
+	if len(manifest) != len(want) {
+		t.Fatalf("manifest = %v, want %v", manifest, want)
+	}
+	for k, v := range want {
+		if manifest[k] != v {
+			t.Errorf("manifest[%q] = %q, want %q", k, manifest[k], v)
+		}
+	}
+	// Plain bench output yields a nil manifest.
+	_, _, manifest, err = ParseGoBenchManifest(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if manifest != nil {
+		t.Errorf("manifest on plain input = %v, want nil", manifest)
+	}
+}
+
+func TestCoreCountMismatch(t *testing.T) {
+	base := map[string]string{"numcpu": "8", "go": "go1.22"}
+	cur := map[string]string{"numcpu": "1", "go": "go1.23"}
+	key, bv, cv, mismatch := CoreCountMismatch(base, cur)
+	if !mismatch || key != "numcpu" || bv != "8" || cv != "1" {
+		t.Errorf("got (%q,%q,%q,%v), want numcpu 8 vs 1", key, bv, cv, mismatch)
+	}
+	// Equal values, or a key missing from either side, is not a mismatch.
+	for _, cur := range []map[string]string{
+		{"numcpu": "8"},
+		{"go": "go1.23"},
+		nil,
+	} {
+		if _, _, _, m := CoreCountMismatch(base, cur); m {
+			t.Errorf("CoreCountMismatch(%v, %v) = true, want false", base, cur)
+		}
+	}
+	// Daemon-side core counts gate eeld-load series the same way.
+	if _, _, _, m := CoreCountMismatch(
+		map[string]string{"eeld_numcpu": "8"},
+		map[string]string{"eeld_numcpu": "2"}); !m {
+		t.Error("eeld_numcpu mismatch not detected")
+	}
+}

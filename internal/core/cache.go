@@ -134,6 +134,13 @@ func (c *Cache) ShardStats() []ShardStats {
 }
 
 func (c *Cache) get(seed uint64, block []sparc.Inst) ([]sparc.Inst, bool) {
+	return c.getInto(seed, block, nil)
+}
+
+// getInto is get with the copy carved from the caller's arena (nil falls
+// back to a private allocation), so a warmed worker's cache hits cost no
+// allocations.
+func (c *Cache) getInto(seed uint64, block []sparc.Inst, arena *instArena) ([]sparc.Inst, bool) {
 	k := blockHash(seed, block)
 	sh := c.shardOf(k)
 	sh.mu.Lock()
@@ -147,7 +154,12 @@ func (c *Cache) get(seed uint64, block []sparc.Inst) ([]sparc.Inst, bool) {
 	sh.moveToFront(e)
 	// Entries are immutable once stored; hand the caller its own copy so
 	// later in-place edits cannot corrupt the cache.
-	out := append([]sparc.Inst(nil), e.out...)
+	var out []sparc.Inst
+	if arena != nil {
+		out = append(arena.take(len(e.out)), e.out...)
+	} else {
+		out = append([]sparc.Inst(nil), e.out...)
+	}
 	sh.mu.Unlock()
 	return out, true
 }

@@ -3,7 +3,6 @@ package core
 import (
 	"math/bits"
 
-	"eel/internal/pipe"
 	"eel/internal/sparc"
 	"eel/internal/spawn"
 )
@@ -24,16 +23,6 @@ import (
 // with the reference rules, rather than trusting the table that surfaced
 // the pair. The tables only bound WHICH pairs can depend; the masks
 // decide HOW, byte-for-byte like the reference.
-
-// nodeFlags caches per-instruction predicates the pair rules test.
-type nodeFlags uint8
-
-const (
-	flagLoad nodeFlags = 1 << iota
-	flagStore
-	flagInstrumented
-	flagTrap
-)
 
 // regMask is a dense bitset over sparc.Reg (NumRegs = 67: bits 0..63 in
 // lo, 64..66 in hi). %g0 is never set — the reference intersects()
@@ -74,13 +63,22 @@ func (m regMask) first(o regMask) sparc.Reg {
 // A scratch is owned by a single goroutine (it travels with the worker's
 // pipeline state through the scheduler's pool) and is reset per block.
 type scratch struct {
-	body []sparc.Inst
+	// BlockSoA holds the flat per-instruction arrays (instructions,
+	// timing groups, hazard flags, register masks, prepared placement
+	// inputs) every pass indexes; see soa.go.
+	BlockSoA
+
+	// arena backs the emitted schedule slices (and cache-hit copies), so
+	// steady-state scheduling allocates one chunk per ~8k instructions
+	// instead of one slice per block.
+	arena instArena
+	// bodyBuf is the reusable CTI body staging buffer: the block minus
+	// its CTI and (canonical-nop) delay slot.
+	bodyBuf []sparc.Inst
+	// Reusable register sets for the delay-slot legality check.
+	ctiUses, ctiDefs, candRegs []sparc.Reg
 
 	// Per-node arrays, length n.
-	groups  []*spawn.Group
-	useMask []regMask
-	defMask []regMask
-	flags   []nodeFlags
 	stamp   []int32 // last j that examined this node as a candidate, +1
 	npred   []int32
 	chain   []int32
@@ -106,13 +104,12 @@ type scratch struct {
 	stores  [2][]int32
 	traps   []int32
 
-	heap   []int32
-	regBuf []sparc.Reg
+	heap []int32
 
-	// Pre-resolved placement inputs per node, when the oracle supports
-	// preparing (pipe.FastState). prepOK marks prep valid for body; CTI
-	// blocks append two extra slots (the CTI, a nop) for cost replays.
-	prep   []pipe.Prepared
+	// prepOK marks the SoA's Prep slots valid for the current body, when
+	// the oracle supports preparing (pipe.FastState); CTI blocks append
+	// up to three extra slots (the CTI, a nop, an odd delay-slot form)
+	// for cost replays.
 	prepOK bool
 
 	// Decision-trace collection (trace.go): traceOn is set per block by
@@ -128,15 +125,10 @@ type scratch struct {
 }
 
 // reset prepares the arenas for a block of n instructions, reusing all
-// prior capacity.
+// prior capacity. The SoA arrays are filled separately by Build.
 func (sc *scratch) reset(body []sparc.Inst) {
 	n := len(body)
-	sc.body = body
-	if cap(sc.groups) < n {
-		sc.groups = make([]*spawn.Group, n)
-		sc.useMask = make([]regMask, n)
-		sc.defMask = make([]regMask, n)
-		sc.flags = make([]nodeFlags, n)
+	if cap(sc.stamp) < n {
 		sc.stamp = make([]int32, n)
 		sc.npred = make([]int32, n)
 		sc.chain = make([]int32, n)
@@ -146,10 +138,6 @@ func (sc *scratch) reset(body []sparc.Inst) {
 		sc.succStart = make([]int32, n+1)
 		sc.cursor = make([]int32, n+1)
 	}
-	sc.groups = sc.groups[:n]
-	sc.useMask = sc.useMask[:n]
-	sc.defMask = sc.defMask[:n]
-	sc.flags = sc.flags[:n]
 	sc.stamp = sc.stamp[:n]
 	sc.npred = sc.npred[:n]
 	sc.chain = sc.chain[:n]
@@ -188,47 +176,13 @@ func (sc *scratch) touch(r sparc.Reg) {
 // buildDepGraph fills sc with the dependence DAG of body, equal edge for
 // edge (as an (i, j, lat) multiset) to the reference buildDAG, and
 // computes pass 1's dependence-chain lengths. With usePrep the timing
-// groups come from the caller's prepare pass (sc.prep) instead of fresh
+// groups come from the caller's prepare pass (sc.Prep) instead of fresh
 // model lookups.
 func (s *Scheduler) buildDepGraph(sc *scratch, body []sparc.Inst, usePrep bool) error {
 	sc.reset(body)
 	n := len(body)
-
-	for i, inst := range body {
-		if usePrep {
-			sc.groups[i] = sc.prep[i].Group()
-		} else {
-			g, err := s.model.GroupOf(inst)
-			if err != nil {
-				return err
-			}
-			sc.groups[i] = g
-		}
-		var um, dm regMask
-		sc.regBuf = inst.Uses(sc.regBuf[:0])
-		for _, r := range sc.regBuf {
-			um.set(r)
-		}
-		sc.regBuf = inst.Defs(sc.regBuf[:0])
-		for _, r := range sc.regBuf {
-			dm.set(r)
-		}
-		sc.useMask[i] = um
-		sc.defMask[i] = dm
-		var f nodeFlags
-		if inst.Op.IsLoad() {
-			f |= flagLoad
-		}
-		if inst.Op.IsStore() {
-			f |= flagStore
-		}
-		if inst.Instrumented {
-			f |= flagInstrumented
-		}
-		if inst.Op == sparc.OpTicc {
-			f |= flagTrap
-		}
-		sc.flags[i] = f
+	if err := sc.Build(s.model, body, usePrep); err != nil {
+		return err
 	}
 
 	conservative := s.opts.ConservativeMem
@@ -236,7 +190,7 @@ func (s *Scheduler) buildDepGraph(sc *scratch, body []sparc.Inst, usePrep bool) 
 		sc.predStart[j] = int32(len(sc.predTo))
 		j32 := int32(j)
 		um, dm := sc.useMask[j], sc.defMask[j]
-		fj := sc.flags[j]
+		fj := sc.Flags[j]
 
 		// RAW candidates: prior writers of every register j uses. The bit
 		// loops are unrolled over the mask halves to keep the hot path
@@ -272,12 +226,12 @@ func (s *Scheduler) buildDepGraph(sc *scratch, body []sparc.Inst, usePrep bool) 
 			}
 		}
 		// Memory candidates, per the paper's aliasing domains.
-		if fj&(flagLoad|flagStore) != 0 {
+		if fj&(FlagLoad|FlagStore) != 0 {
 			dom := 0
-			if fj&flagInstrumented != 0 {
+			if fj&FlagInstrumented != 0 {
 				dom = 1
 			}
-			if fj&flagStore != 0 {
+			if fj&FlagStore != 0 {
 				// A store conflicts with prior loads and stores.
 				for _, i := range sc.loads[dom] {
 					sc.addPred(s, i, j32)
@@ -307,7 +261,7 @@ func (s *Scheduler) buildDepGraph(sc *scratch, body []sparc.Inst, usePrep bool) 
 		}
 		// Trap barriers: a trap depends on everything before it, and
 		// everything after a trap depends on it.
-		if fj&flagTrap != 0 {
+		if fj&FlagTrap != 0 {
 			for i := int32(0); i < j32; i++ {
 				sc.addPred(s, i, j32)
 			}
@@ -338,21 +292,21 @@ func (s *Scheduler) buildDepGraph(sc *scratch, body []sparc.Inst, usePrep bool) 
 			sc.touch(r)
 			sc.writers[r] = append(sc.writers[r], j32)
 		}
-		if fj&flagLoad != 0 {
+		if fj&FlagLoad != 0 {
 			dom := 0
-			if fj&flagInstrumented != 0 {
+			if fj&FlagInstrumented != 0 {
 				dom = 1
 			}
 			sc.loads[dom] = append(sc.loads[dom], j32)
 		}
-		if fj&flagStore != 0 {
+		if fj&FlagStore != 0 {
 			dom := 0
-			if fj&flagInstrumented != 0 {
+			if fj&FlagInstrumented != 0 {
 				dom = 1
 			}
 			sc.stores[dom] = append(sc.stores[dom], j32)
 		}
-		if fj&flagTrap != 0 {
+		if fj&FlagTrap != 0 {
 			sc.traps = append(sc.traps, j32)
 		}
 	}
@@ -417,7 +371,7 @@ func (sc *scratch) addPred(s *Scheduler, i, j int32) {
 	if sc.defMask[i].intersects(sc.useMask[j]) {
 		dep = true
 		r := sc.defMask[i].first(sc.useMask[j])
-		if l := int32(rawLatencyOf(sc.groups[i], sc.body[i], sc.groups[j], sc.body[j], r)); l > lat {
+		if l := int32(rawLatencyOf(sc.Groups[i], sc.Insts[i], sc.Groups[j], sc.Insts[j], r)); l > lat {
 			lat = l
 		}
 	}
@@ -429,14 +383,14 @@ func (sc *scratch) addPred(s *Scheduler, i, j int32) {
 		}
 	}
 	// Memory ordering.
-	if memConflictFlags(sc.flags[i], sc.flags[j], s.opts.ConservativeMem) {
+	if memConflictFlags(sc.Flags[i], sc.Flags[j], s.opts.ConservativeMem) {
 		dep = true
 		if lat < 1 {
 			lat = 1
 		}
 	}
 	// Traps are scheduling barriers.
-	if (sc.flags[i]|sc.flags[j])&flagTrap != 0 {
+	if (sc.Flags[i]|sc.Flags[j])&FlagTrap != 0 {
 		dep = true
 		if lat < 1 {
 			lat = 1
@@ -450,14 +404,14 @@ func (sc *scratch) addPred(s *Scheduler, i, j int32) {
 }
 
 // memConflictFlags is memConflict over the cached per-node flags.
-func memConflictFlags(fi, fj nodeFlags, conservative bool) bool {
-	if fi&(flagLoad|flagStore) == 0 || fj&(flagLoad|flagStore) == 0 {
+func memConflictFlags(fi, fj InstFlags, conservative bool) bool {
+	if fi&(FlagLoad|FlagStore) == 0 || fj&(FlagLoad|FlagStore) == 0 {
 		return false
 	}
-	if fi&flagLoad != 0 && fj&flagLoad != 0 {
+	if fi&FlagLoad != 0 && fj&FlagLoad != 0 {
 		return false // loads never conflict
 	}
-	if !conservative && (fi^fj)&flagInstrumented != 0 {
+	if !conservative && (fi^fj)&FlagInstrumented != 0 {
 		return false // instrumentation memory is disjoint from program memory
 	}
 	return true

@@ -459,9 +459,9 @@ func (s *Scheduler) optimalImprove(w *worker, block, greedyOut []sparc.Inst) ([]
 // always routes scheduleStraightLine through the fast path.
 func (o *optSearch) init(s *Scheduler, w *worker, hasCTI bool, cti sparc.Inst) error {
 	sc := &w.sc
-	n := len(sc.body)
+	n := len(sc.Insts)
 	o.n = n
-	o.body = sc.body
+	o.body = sc.Insts
 	o.hasCTI = hasCTI
 	o.cti = cti
 	o.nodes = 0
@@ -486,7 +486,7 @@ func (o *optSearch) init(s *Scheduler, w *worker, hasCTI bool, cti sparc.Inst) e
 	o.grow(n)
 
 	// Prepared inputs: the body, then CTI and nop slots for leaf
-	// replays. sc.prep is not reused even when valid — the guard's
+	// replays. sc.Prep is not reused even when valid — the guard's
 	// beforeIdx may still reference its slots, and the reference-oracle
 	// path never filled it.
 	for i, inst := range o.body {

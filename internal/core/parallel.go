@@ -39,6 +39,7 @@ func (s *Scheduler) ScheduleBlocks(blocks [][]sparc.Inst) ([][]sparc.Inst, error
 			w = s.pool.Get().(*worker)
 			defer s.pool.Put(w)
 		}
+		defer s.tel.flush(w)
 		for i, b := range blocks {
 			sb, err := s.scheduleBlockOn(w, i, b)
 			if err != nil {
@@ -58,32 +59,46 @@ func (s *Scheduler) ScheduleBlocks(blocks [][]sparc.Inst) ([][]sparc.Inst, error
 		firstErr error
 		firstIdx = len(blocks)
 	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			w := s.pool.Get().(*worker)
-			defer s.pool.Put(w)
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(blocks) {
-					return
-				}
-				sb, err := s.scheduleBlockOn(w, i, blocks[i])
-				if err != nil {
-					// Keep draining so the reported error is the
-					// deterministic lowest-indexed failure.
-					mu.Lock()
-					if i < firstIdx {
-						firstIdx, firstErr = i, err
-					}
-					mu.Unlock()
-					continue
-				}
-				out[i] = sb
+	runWorker := func() {
+		w := s.pool.Get().(*worker)
+		defer s.pool.Put(w)
+		defer s.tel.flush(w)
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(blocks) {
+				return
 			}
-		}()
+			sb, err := s.scheduleBlockOn(w, i, blocks[i])
+			if err != nil {
+				// Keep draining so the reported error is the
+				// deterministic lowest-indexed failure.
+				mu.Lock()
+				if i < firstIdx {
+					firstIdx, firstErr = i, err
+				}
+				mu.Unlock()
+				continue
+			}
+			out[i] = sb
+		}
 	}
+	// Dispatch workers-1 helpers to the persistent pool (pool.go); the
+	// calling goroutine is the last worker. Since workers claim block
+	// indices from the shared counter, any subset drains the whole
+	// batch — so a refused dispatch (pool closed, or saturated by
+	// concurrent batches) just means fewer helpers, never lost blocks.
+	for h := 0; h < workers-1; h++ {
+		wg.Add(1)
+		ok := s.exec != nil && s.exec.dispatch(func() {
+			defer wg.Done()
+			runWorker()
+		})
+		if !ok {
+			wg.Done()
+			break
+		}
+	}
+	runWorker()
 	wg.Wait()
 	if firstErr != nil {
 		return nil, fmt.Errorf("core: block %d: %w", firstIdx, firstErr)

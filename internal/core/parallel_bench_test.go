@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"eel/internal/sparc"
 	"eel/internal/spawn"
 )
 
@@ -28,6 +29,42 @@ func BenchmarkScheduleBlocks(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkScheduleBlocksScaling is the multicore scaling rig: the fast
+// engine and fast oracle only (the line-rate configuration), swept
+// across worker counts on one shared workload, with output verified
+// byte-identical to the single-worker run every iteration batch. CI
+// records it as the `sched-scaling` series in BENCH_sched.json; the
+// recorded manifest's gomaxprocs/numcpu stamps say how many cores the
+// sweep actually had, so cross-runner comparisons of the series are
+// flagged instead of gated.
+func BenchmarkScheduleBlocksScaling(b *testing.B) {
+	model := spawn.MustLoad(spawn.UltraSPARC)
+	blocks := randomBlocks(rand.New(rand.NewSource(1)), 2000)
+	ref, err := New(model, Options{Workers: 1}).ScheduleBlocks(blocks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			s := New(model, Options{Workers: workers})
+			defer s.Close()
+			b.ReportAllocs()
+			var out [][]sparc.Inst
+			for i := 0; i < b.N; i++ {
+				if out, err = s.ScheduleBlocks(blocks); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			for i := range out {
+				if !blocksEqual(out[i], ref[i]) {
+					b.Fatalf("workers=%d block %d differs from single-worker schedule", workers, i)
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,78 @@
+package core
+
+import "sync"
+
+// execPool is the scheduler's persistent goroutine pool. ScheduleBlocks
+// used to spawn fresh goroutines per batch; a daemon serving many small
+// Edit requests paid that spin-up (stack allocation, scheduling churn)
+// on every call. The pool keeps up to capn goroutines alive across
+// batches: dispatch hands a task to an idle one, spawning lazily up to
+// the cap, and refuses — rather than queues — when every goroutine is
+// busy, because the caller can always run its share of the batch inline
+// (ScheduleBlocks workers claim blocks from a shared counter, so any
+// subset of the requested workers drains the whole batch).
+type execPool struct {
+	mu       sync.Mutex
+	tasks    chan func() // unbuffered: a send means a goroutine took it
+	started  int         // goroutines ever spawned
+	inflight int         // tasks dispatched and not yet finished
+	capn     int
+	closed   bool
+	// sends tracks dispatches between their admission (under mu) and the
+	// completion of their channel send, so Close never closes the task
+	// channel under an in-flight send.
+	sends sync.WaitGroup
+}
+
+func newExecPool(capn int) *execPool {
+	return &execPool{tasks: make(chan func()), capn: capn}
+}
+
+// dispatch hands task to a pool goroutine and reports whether it did.
+// It refuses when the pool is closed or saturated; the caller runs the
+// work itself instead.
+func (p *execPool) dispatch(task func()) bool {
+	p.mu.Lock()
+	if p.closed || (p.inflight >= p.started && p.started >= p.capn) {
+		p.mu.Unlock()
+		return false
+	}
+	if p.inflight >= p.started {
+		p.started++
+		go p.run()
+	}
+	p.inflight++
+	p.sends.Add(1)
+	p.mu.Unlock()
+	// inflight < started held under the lock: at least one goroutine is
+	// idle (in or headed to its channel receive), so this send cannot
+	// block indefinitely. Close waits on sends before closing the
+	// channel, so the receiver is still looping.
+	p.tasks <- task
+	p.sends.Done()
+	return true
+}
+
+func (p *execPool) run() {
+	for task := range p.tasks {
+		task()
+		p.mu.Lock()
+		p.inflight--
+		p.mu.Unlock()
+	}
+}
+
+// Close stops the pool's goroutines once in-flight tasks finish.
+// Idempotent; concurrent dispatches are refused and degrade to inline
+// execution, so closing a scheduler mid-batch is safe.
+func (p *execPool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.sends.Wait()
+	close(p.tasks)
+}

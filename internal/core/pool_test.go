@@ -1,0 +1,92 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestExecPoolDispatchAndRefusal pins the pool contract the parallel
+// batch path relies on: capacity is a hard bound (a saturated pool
+// refuses instead of queueing, so the caller schedules inline), drained
+// workers are reused rather than respawned, and a closed pool refuses
+// everything while Close stays idempotent.
+func TestExecPoolDispatchAndRefusal(t *testing.T) {
+	p := newExecPool(2)
+	block := make(chan struct{})
+	var occupied sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		occupied.Add(1)
+		if !p.dispatch(func() { occupied.Done(); <-block }) {
+			t.Fatalf("dispatch %d refused with capacity free", i)
+		}
+	}
+	occupied.Wait()
+
+	if p.dispatch(func() {}) {
+		t.Fatal("saturated pool accepted a task instead of refusing")
+	}
+
+	close(block)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		p.mu.Lock()
+		idle := p.inflight == 0
+		p.mu.Unlock()
+		if idle {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("workers never drained")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	done := make(chan struct{})
+	if !p.dispatch(func() { close(done) }) {
+		t.Fatal("drained pool refused a task")
+	}
+	<-done
+	p.mu.Lock()
+	started := p.started
+	p.mu.Unlock()
+	if started > 2 {
+		t.Fatalf("pool started %d goroutines for capacity 2 — workers are not persistent", started)
+	}
+
+	p.Close()
+	if p.dispatch(func() {}) {
+		t.Fatal("closed pool accepted a task")
+	}
+	p.Close() // must be idempotent
+}
+
+// TestExecPoolCloseConcurrentWithDispatch races Close against a stream
+// of dispatches: no send may land on a closed channel (the race
+// detector and the panic handler both watch), and every accepted task
+// must still run.
+func TestExecPoolCloseConcurrentWithDispatch(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		p := newExecPool(2)
+		var accepted, ran sync.WaitGroup
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 20; i++ {
+					accepted.Add(1)
+					ran.Add(1)
+					if !p.dispatch(func() { ran.Done() }) {
+						ran.Done()
+					}
+					accepted.Done()
+				}
+			}()
+		}
+		p.Close()
+		wg.Wait()
+		accepted.Wait()
+		ran.Wait()
+	}
+}

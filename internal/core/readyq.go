@@ -41,9 +41,9 @@ import (
 // sequenceCost would measure, folded out of the issue cycles the loop
 // produces anyway — so the never-costs-more guard can skip one replay.
 // When pp is non-nil, probes and issues go through the pre-resolved
-// placement inputs in sc.prep.
+// placement inputs in sc.Prep.
 func (s *Scheduler) runFastList(sc *scratch, p Pipeline, pp preparedPipeline) ([]sparc.Inst, int64, error) {
-	n := len(sc.body)
+	n := len(sc.Insts)
 	p.Reset()
 	chainFirst := s.opts.ChainFirst
 
@@ -58,7 +58,7 @@ func (s *Scheduler) runFastList(sc *scratch, p Pipeline, pp preparedPipeline) ([
 	}
 
 	var endCost int64
-	out := make([]sparc.Inst, 0, n)
+	out := sc.arena.take(n)
 	for len(sc.heap) > 0 {
 		top := sc.heap[0]
 		// With a single candidate the selection is forced, so no probe is
@@ -70,9 +70,9 @@ func (s *Scheduler) runFastList(sc *scratch, p Pipeline, pp preparedPipeline) ([
 			var st int
 			var err error
 			if pp != nil {
-				st, err = pp.StallsPrepared(&sc.prep[top], sc.body[top])
+				st, err = pp.StallsPrepared(&sc.Prep[top], sc.Insts[top])
 			} else {
-				st, err = p.Stalls(sc.body[top])
+				st, err = p.Stalls(sc.Insts[top])
 			}
 			if err != nil {
 				return nil, -1, err
@@ -88,9 +88,9 @@ func (s *Scheduler) runFastList(sc *scratch, p Pipeline, pp preparedPipeline) ([
 		var issue int64
 		var err error
 		if pp != nil {
-			_, issue, err = pp.IssuePrepared(&sc.prep[top], sc.body[top])
+			_, issue, err = pp.IssuePrepared(&sc.Prep[top], sc.Insts[top])
 		} else {
-			_, issue, err = p.Issue(sc.body[top])
+			_, issue, err = p.Issue(sc.Insts[top])
 		}
 		if err != nil {
 			return nil, -1, err
@@ -100,10 +100,10 @@ func (s *Scheduler) runFastList(sc *scratch, p Pipeline, pp preparedPipeline) ([
 		}
 		clock = issue
 		version++ // all outstanding probes are now lower bounds only
-		if e := issue + int64(sc.groups[top].Cycles); e > endCost {
+		if e := issue + int64(sc.Groups[top].Cycles); e > endCost {
 			endCost = e
 		}
-		out = append(out, sc.body[top])
+		out = append(out, sc.Insts[top])
 		sc.perm = append(sc.perm, top)
 		sc.heapPop(chainFirst)
 		for e := sc.succStart[top]; e < sc.succStart[top+1]; e++ {

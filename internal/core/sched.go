@@ -219,6 +219,26 @@ type Scheduler struct {
 	fastOK  bool       // oracle known monotone, EngineFast allowed
 	tel     *telemetry // nil unless Options.Obs carries a registry
 	opt     *optAgg    // nil unless Engine == EngineOptimal (optimal.go)
+	// telForceReplay disables inline attribution capture so telemetry
+	// falls back to the post-schedule replay on every block. A test
+	// hook: the differential attribution test runs both modes and
+	// asserts counter-for-counter equality.
+	telForceReplay bool
+	// exec is the persistent goroutine pool ScheduleBlocks dispatches
+	// batch helpers to (pool.go); nil on sequential-only schedulers.
+	exec *execPool
+}
+
+// telCapture reports whether this scheduler classifies stalls inline
+// during scheduling instead of replaying emitted blocks afterwards.
+// Inline capture needs the fast engine's invariant that the greedy
+// pass's issue sequence equals the emitted order (so the attribution
+// accumulated while scheduling describes the output); the reference
+// engine probes in a different order and EngineOptimal may emit a
+// sequence the greedy pass never issued, so both fall back to replay.
+func (s *Scheduler) telCapture() bool {
+	return s.tel != nil && !s.telForceReplay && s.fastOK &&
+		s.opts.Engine != EngineReference && s.opt == nil
 }
 
 // worker bundles one goroutine's private scheduling state: a stall
@@ -227,9 +247,25 @@ type Scheduler struct {
 type worker struct {
 	p  Pipeline
 	sc scratch
-	// attr is the worker's private stall-attribution scratch, attached
-	// to p only during telemetry replays (telemetry.go).
-	attr pipe.StallAttr
+	// attr is the worker's private stall-attribution scratch for the
+	// emitted order, attached to p during inline capture or telemetry
+	// replays; attrBefore holds the original order's attribution from
+	// the guard's cost replay (telemetry.go).
+	attr       pipe.StallAttr
+	attrBefore pipe.StallAttr
+	// Inline-capture state, valid for the last scheduled block:
+	// telInline marks attr/telAfter as describing the emitted order;
+	// telUseBefore marks that the guard rejected the greedy schedule,
+	// so the emitted order is the original and attrBefore/telBefore
+	// describe it; telBefore < 0 means the original order was never
+	// priced (unchanged block).
+	telInline    bool
+	telUseBefore bool
+	telAfter     int64
+	telBefore    int64
+	// shard accumulates this worker's telemetry locally; it is merged
+	// into the shared registry at batch end (telemetry.go).
+	shard *telShard
 	// keptOriginal marks (for tracing) that the never-costs-more guard
 	// rejected the last block's greedy schedule.
 	keptOriginal bool
@@ -264,7 +300,33 @@ func New(model *spawn.Model, opts Options) *Scheduler {
 	if opts.Engine == EngineOptimal {
 		s.opt = newOptAgg(opts.Obs)
 	}
+	s.initExec()
 	return s
+}
+
+// initExec creates the persistent helper-goroutine pool when the
+// configuration can use one (a replicable oracle and more than one
+// worker). The pool outlives individual ScheduleBlocks calls — that is
+// its point: a daemon serving many small Edit requests through one
+// scheduler pays goroutine spin-up once, not per request. A finalizer
+// backstops Close for schedulers that are simply dropped: the pool's
+// goroutines park on a channel the Scheduler does not reference, so an
+// unreachable Scheduler still finalizes, and Close unparks them.
+func (s *Scheduler) initExec() {
+	if n := s.opts.workers() - 1; n > 0 && s.factory != nil {
+		s.exec = newExecPool(n)
+		runtime.SetFinalizer(s, func(s2 *Scheduler) { s2.exec.Close() })
+	}
+}
+
+// Close releases the scheduler's persistent helper goroutines. Optional
+// (a finalizer reclaims them when the Scheduler is garbage collected)
+// and idempotent; safe concurrently with ScheduleBlocks, whose batches
+// degrade to fewer workers rather than fail.
+func (s *Scheduler) Close() {
+	if s.exec != nil {
+		s.exec.Close()
+	}
 }
 
 // NewWith returns a scheduler driven by a custom stall oracle (e.g. a
@@ -286,6 +348,7 @@ func NewWithFactory(factory func() Pipeline, model *spawn.Model, opts Options) *
 	s := &Scheduler{model: model, seq: &worker{p: factory()}, factory: factory, opts: opts}
 	s.pool.New = func() any { return &worker{p: factory()} }
 	s.tel = newTelemetry(opts.Obs, model)
+	s.initExec()
 	return s
 }
 
@@ -317,7 +380,11 @@ type edge struct {
 // model more cycles than the original order, the original is returned
 // instead (see guardedSchedule), so scheduling never costs cycles.
 func (s *Scheduler) ScheduleBlock(block []sparc.Inst) ([]sparc.Inst, error) {
-	return s.scheduleBlockOn(s.seq, -1, block)
+	out, err := s.scheduleBlockOn(s.seq, -1, block)
+	// Single-block callers expect counters visible on return; batches
+	// flush once per worker instead (parallel.go).
+	s.tel.flush(s.seq)
+	return out, err
 }
 
 // scheduleBlockOn is ScheduleBlock against an explicit worker, so
@@ -334,8 +401,12 @@ func (s *Scheduler) scheduleBlockOn(w *worker, idx int, block []sparc.Inst) ([]s
 		w.sc.steps = w.sc.steps[:0]
 		w.keptOriginal = false
 	}
+	// Cleared per block: telemetryBlock replays any block these don't
+	// cover (cache hits, reference engine, unprepared oracles, ...).
+	w.telInline = false
+	w.telUseBefore = false
 	if c := s.opts.Cache; c != nil && s.cacheID != 0 && !tracing {
-		if out, ok := c.get(s.cacheID, block); ok {
+		if out, ok := c.getInto(s.cacheID, block, &w.sc.arena); ok {
 			// Unproven optimal-engine results never enter the cache, so a
 			// hit is a certified optimum and counts as proven.
 			s.opt.hitProven(len(block))
@@ -380,6 +451,7 @@ func (s *Scheduler) scheduleBlockOn(w *worker, idx int, block []sparc.Inst) ([]s
 // engine, whose issue order is the output order), or -1 when the caller
 // must measure it.
 func (s *Scheduler) scheduleBlockRaw(w *worker, block []sparc.Inst) ([]sparc.Inst, int64, error) {
+	sc := &w.sc
 	body := block
 	var cti sparc.Inst
 	hasCTI := false
@@ -389,20 +461,34 @@ func (s *Scheduler) scheduleBlockRaw(w *worker, block []sparc.Inst) ([]sparc.Ins
 		}
 		hasCTI = true
 		cti = block[n-2]
-		body = make([]sparc.Inst, 0, n-1)
-		body = append(body, block[:n-2]...)
+		body = append(sc.bodyBuf[:0], block[:n-2]...)
 		if !block[n-1].IsNop() {
 			body = append(body, block[n-1])
 		}
+		sc.bodyBuf = body
 	} else if n >= 1 && block[n-1].IsCTI() {
 		return nil, -1, fmt.Errorf("core: block ends with a CTI but no delay slot")
 	}
 
+	// Inline telemetry capture (telemetry.go): with a monotone oracle the
+	// greedy pass issues exactly the sequence it emits, so attaching the
+	// attribution sink during scheduling classifies the emitted order's
+	// stalls without the post-schedule replay.
+	var csink attrSink
+	if s.telCapture() {
+		csink, _ = w.p.(attrSink)
+	}
+	if csink != nil && !hasCTI {
+		w.attr.Reset()
+		csink.SetAttribution(&w.attr)
+	}
 	scheduled, cost, err := s.scheduleStraightLine(w, body)
+	if csink != nil && !hasCTI {
+		csink.SetAttribution(nil)
+	}
 	if err != nil {
 		return nil, -1, err
 	}
-	sc := &w.sc
 	prepared := cost >= 0 && sc.prepOK // this block ran the fast prepared path
 	if !hasCTI {
 		if prepared {
@@ -413,15 +499,21 @@ func (s *Scheduler) scheduleBlockRaw(w *worker, block []sparc.Inst) ([]sparc.Ins
 				sc.beforeIdx = append(sc.beforeIdx, int32(i))
 			}
 		}
+		if csink != nil && cost >= 0 {
+			// The issue loop ran start to finish: w.attr holds the emitted
+			// order's attribution and cost is its modeled cycle count.
+			w.telInline = true
+			w.telAfter = cost
+		}
 		return scheduled, cost, nil
 	}
 
 	// Reinserting the CTI changes the issue sequence, so the straight-line
 	// cost no longer describes the output.
-	out := make([]sparc.Inst, 0, len(scheduled)+2)
+	out := sc.arena.take(len(scheduled) + 2)
 	refilled := false
 	// Fill the delay slot with the last scheduled instruction when legal.
-	if k := len(scheduled); k > 0 && delaySlotLegal(cti, scheduled[k-1]) {
+	if k := len(scheduled); k > 0 && sc.delaySlotLegal(cti, scheduled[k-1]) {
 		out = append(out, scheduled[:k-1]...)
 		out = append(out, cti, scheduled[k-1])
 		refilled = true
@@ -429,10 +521,15 @@ func (s *Scheduler) scheduleBlockRaw(w *worker, block []sparc.Inst) ([]sparc.Ins
 		out = append(out, scheduled...)
 		out = append(out, cti, sparc.NewNop())
 	}
-	if !prepared || blocksEqual(out, block) {
+	unchanged := blocksEqual(out, block)
+	if !prepared || (unchanged && csink == nil) {
 		// Unchanged blocks skip both cost replays in guardedSchedule, so
 		// pricing here would be wasted (and could reject a block whose CTI
 		// the model cannot place, which an unchanged schedule never needs).
+		// Under inline capture an unchanged block is still priced — that
+		// is the replay telemetry would have performed anyway — but a
+		// pricing failure falls back to the replay path instead of
+		// failing the block.
 		return out, -1, nil
 	}
 
@@ -442,13 +539,16 @@ func (s *Scheduler) scheduleBlockRaw(w *worker, block []sparc.Inst) ([]sparc.Ins
 	pp := w.p.(preparedPipeline)
 	nb := int32(len(scheduled))
 	ctiSlot, nopSlot := nb, nb+1
-	sc.prep = sc.prep[:nb]
+	sc.Prep = sc.Prep[:nb]
 	for _, extra := range [...]sparc.Inst{cti, sparc.NewNop()} {
 		p, err := pp.Prepare(extra)
 		if err != nil {
+			if unchanged {
+				return out, -1, nil
+			}
 			return nil, -1, err
 		}
-		sc.prep = append(sc.prep, p)
+		sc.Prep = append(sc.Prep, p)
 	}
 	sc.costIdx = sc.costIdx[:0]
 	if refilled {
@@ -458,9 +558,28 @@ func (s *Scheduler) scheduleBlockRaw(w *worker, block []sparc.Inst) ([]sparc.Ins
 		sc.costIdx = append(sc.costIdx, sc.perm...)
 		sc.costIdx = append(sc.costIdx, ctiSlot, nopSlot)
 	}
+	if csink != nil {
+		w.attr.Reset()
+		csink.SetAttribution(&w.attr)
+	}
 	after, err := s.sequenceCostIdx(w, out, sc.costIdx)
+	if csink != nil {
+		csink.SetAttribution(nil)
+	}
 	if err != nil {
+		if unchanged {
+			return out, -1, nil
+		}
 		return nil, -1, err
+	}
+	if csink != nil {
+		w.telInline = true
+		w.telAfter = after
+	}
+	if unchanged {
+		// Priced for telemetry only; the guard needs no beforeIdx since
+		// it keeps unchanged blocks without replaying the original.
+		return out, after, nil
 	}
 	// Original order: the leading instructions map to themselves, then the
 	// CTI, then the delay instruction (the last body slot, or — when the
@@ -481,7 +600,7 @@ func (s *Scheduler) scheduleBlockRaw(w *worker, block []sparc.Inst) ([]sparc.Ins
 		if err != nil {
 			return nil, -1, err
 		}
-		sc.prep = append(sc.prep, p)
+		sc.Prep = append(sc.Prep, p)
 		sc.beforeIdx = append(sc.beforeIdx, nopSlot+1)
 	}
 	return out, after, nil
@@ -511,7 +630,20 @@ func (s *Scheduler) guardedSchedule(w *worker, block []sparc.Inst) ([]sparc.Inst
 	// code frequently reschedules to itself: original index is the final
 	// tie-break.)
 	if blocksEqual(out, block) {
+		w.telBefore = -1 // original never priced separately
 		return out, nil
+	}
+	// Under inline capture the guard's replay of the original order
+	// doubles as telemetry: if the guard rejects the greedy schedule,
+	// the emitted block IS the original, and attrBefore/telBefore
+	// describe it (telemetry.go).
+	var bsink attrSink
+	if w.telInline {
+		bsink, _ = w.p.(attrSink)
+		if bsink != nil {
+			w.attrBefore.Reset()
+			bsink.SetAttribution(&w.attrBefore)
+		}
 	}
 	var before int64
 	if after >= 0 && w.sc.prepOK {
@@ -522,9 +654,13 @@ func (s *Scheduler) guardedSchedule(w *worker, block []sparc.Inst) ([]sparc.Inst
 	} else {
 		before, err = s.sequenceCost(w.p, block)
 	}
+	if bsink != nil {
+		bsink.SetAttribution(nil)
+	}
 	if err != nil {
 		return nil, err
 	}
+	w.telBefore = before
 	if after < 0 {
 		after, err = s.sequenceCost(w.p, out)
 		if err != nil {
@@ -534,6 +670,9 @@ func (s *Scheduler) guardedSchedule(w *worker, block []sparc.Inst) ([]sparc.Inst
 	if after > before {
 		if w.sc.traceOn {
 			w.keptOriginal = true
+		}
+		if bsink != nil {
+			w.telUseBefore = true
 		}
 		return block, nil
 	}
@@ -549,7 +688,7 @@ func (s *Scheduler) sequenceCostIdx(w *worker, insts []sparc.Inst, idx []int32) 
 	w.p.Reset()
 	var end int64
 	for i, inst := range insts {
-		p := &sc.prep[idx[i]]
+		p := &sc.Prep[idx[i]]
 		_, issue, err := pp.IssuePrepared(p, inst)
 		if err != nil {
 			return 0, err
@@ -616,6 +755,40 @@ func delaySlotLegal(cti, cand sparc.Inst) bool {
 	return true
 }
 
+// delaySlotLegal is the free function's logic against the scratch's
+// reusable register buffers, so the per-CTI-block legality check costs
+// no allocations. Semantics are identical — in particular %g0 is NOT
+// excluded here, matching the reference loops exactly.
+func (sc *scratch) delaySlotLegal(cti, cand sparc.Inst) bool {
+	if cand.IsCTI() || cand.Op == sparc.OpTicc {
+		return false
+	}
+	sc.ctiUses = cti.Uses(sc.ctiUses[:0])
+	sc.ctiDefs = cti.Defs(sc.ctiDefs[:0])
+	sc.candRegs = cand.Defs(sc.candRegs[:0])
+	for _, d := range sc.candRegs {
+		for _, u := range sc.ctiUses {
+			if d == u {
+				return false
+			}
+		}
+		for _, cd := range sc.ctiDefs {
+			if d == cd {
+				return false
+			}
+		}
+	}
+	sc.candRegs = cand.Uses(sc.candRegs[:0])
+	for _, u := range sc.candRegs {
+		for _, cd := range sc.ctiDefs {
+			if u == cd {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // scheduleStraightLine runs the two-pass list scheduler over straight-line
 // code on worker w, dispatching to the selected engine. The fast engine
 // is only eligible on schedulers built with New (known-monotone oracles).
@@ -636,16 +809,19 @@ func (s *Scheduler) scheduleStraightLine(w *worker, body []sparc.Inst) ([]sparc.
 			// instructions in order, so a model-lookup failure surfaces
 			// on the same first bad instruction the reference build
 			// would report.
-			if cap(sc.prep) < len(body) {
-				sc.prep = make([]pipe.Prepared, len(body))
+			// Reserve three slots past the body: CTI pricing appends the
+			// CTI, a nop, and possibly a non-canonical delay-slot nop
+			// (scheduleBlockRaw) without reallocating.
+			if cap(sc.Prep) < len(body)+3 {
+				sc.Prep = make([]pipe.Prepared, len(body)+3)
 			}
-			sc.prep = sc.prep[:len(body)]
+			sc.Prep = sc.Prep[:len(body)]
 			for i, inst := range body {
 				p, err := pp.Prepare(inst)
 				if err != nil {
 					return nil, -1, err
 				}
-				sc.prep[i] = p
+				sc.Prep[i] = p
 			}
 		}
 		if err := s.buildDepGraph(sc, body, usePrep); err != nil {

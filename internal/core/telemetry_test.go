@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"eel/internal/obs"
+	"eel/internal/sparc"
 	"eel/internal/spawn"
 )
 
@@ -371,6 +372,54 @@ func TestTelemetryDisabledOverheadGuard(t *testing.T) {
 		(ratio-1)*100)
 }
 
+// TestTelemetryEnabledOverheadGuard is the committed acceptance bound
+// for the inline-capture path: scheduling with telemetry enabled may
+// cost at most 10% over disabled on the line-rate configuration. Before
+// per-worker aggregation the enabled path replayed every block through
+// the oracle twice (~1.5×); inline capture attributes during the passes
+// the scheduler already runs, so the remaining overhead is counter
+// accumulation and the per-batch shard flush. Same best-of-k shape as
+// the disabled guard to keep shared-runner noise from flaking it.
+func TestTelemetryEnabledOverheadGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing guard skipped in -short")
+	}
+	model := spawn.MustLoad(spawn.UltraSPARC)
+	blocks := randomBlocks(rand.New(rand.NewSource(28)), 400)
+	disabled := New(model, Options{Workers: 1})
+	enabled := New(model, Options{Workers: 1, Obs: obs.NewRegistry()})
+	run := func(s *Scheduler) {
+		if _, err := s.ScheduleBlocks(blocks); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run(disabled) // warm pools
+	run(enabled)
+	minOf := func(s *Scheduler, k int) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < k; i++ {
+			start := time.Now()
+			run(s)
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	const limit = 1.10
+	var ratio float64
+	for attempt := 0; attempt < 5; attempt++ {
+		d := minOf(disabled, 4)
+		e := minOf(enabled, 4)
+		ratio = float64(e) / float64(d)
+		if ratio < limit {
+			return
+		}
+	}
+	t.Fatalf("enabled-telemetry scheduling is %.1f%% slower than disabled, want < 10%%",
+		(ratio-1)*100)
+}
+
 // TestScheduleBlockDisabledAllocations caps the per-block allocations of
 // the disabled-telemetry path on the production configuration (fast
 // engine, fast oracle — the reference implementations allocate by
@@ -419,5 +468,90 @@ func BenchmarkScheduleBlocksTelemetry(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// TestTelemetryInlineCaptureMatchesReplay is the differential test for
+// the per-worker inline capture path: the telForceReplay hook pins the
+// old post-schedule replay attribution, and every exported counter and
+// histogram must match it count for count, across the engine × oracle
+// matrix and across worker counts. Inline capture only engages on the
+// fast-engine/fast-oracle line-rate configuration — every other combo
+// replays on both sides — so the matrix proves both that the capture is
+// exact where it runs and that the fallback detection is airtight where
+// it doesn't.
+func TestTelemetryInlineCaptureMatchesReplay(t *testing.T) {
+	model := spawn.MustLoad(spawn.UltraSPARC)
+	blocks := randomBlocks(rand.New(rand.NewSource(23)), 200)
+	for _, opts := range engineOracleCombos() {
+		for _, workers := range []int{1, 4} {
+			name := fmt.Sprintf("engine=%s/oracle=%s/workers=%d", opts.Engine, opts.Oracle, workers)
+			run := func(forceReplay bool) *obs.Export {
+				reg := obs.NewRegistry()
+				o := opts
+				o.Workers = workers
+				o.Obs = reg
+				// Half the blocks cached, to cover the hit path's
+				// attribution under both modes.
+				o.Cache = NewCache(1024)
+				s := New(model, o)
+				defer s.Close()
+				s.telForceReplay = forceReplay
+				if _, err := s.ScheduleBlocks(blocks[:len(blocks)/2]); err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if _, err := s.ScheduleBlocks(blocks); err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				return reg.Snapshot()
+			}
+			inline, replay := run(false), run(true)
+			if !reflect.DeepEqual(inline.Counters, replay.Counters) {
+				t.Errorf("%s: inline capture counters diverge from replay:\n%v\nvs\n%v",
+					name, inline.Counters, replay.Counters)
+			}
+			if !reflect.DeepEqual(inline.Histograms, replay.Histograms) {
+				t.Errorf("%s: inline capture histograms diverge from replay:\n%v\nvs\n%v",
+					name, inline.Histograms, replay.Histograms)
+			}
+			if inline.Counters["sched.ultrasparc.stall_cycles_total"] == 0 {
+				t.Fatalf("%s: no classified stall cycles — differential test is vacuous", name)
+			}
+		}
+	}
+}
+
+// TestTelemetryNeverChangesSchedules asserts the observability layer is
+// strictly read-only at the scheduler level: the emitted blocks are
+// byte-identical with telemetry off, with inline capture, and with the
+// forced replay path. (The end-to-end variant — whole tables with
+// -metrics on — runs in the metrics-smoke CI job.)
+func TestTelemetryNeverChangesSchedules(t *testing.T) {
+	model := spawn.MustLoad(spawn.UltraSPARC)
+	blocks := randomBlocks(rand.New(rand.NewSource(24)), 150)
+	run := func(obsOn, forceReplay bool) [][]sparc.Inst {
+		opts := Options{Workers: 1}
+		if obsOn {
+			opts.Obs = obs.NewRegistry()
+		}
+		s := New(model, opts)
+		s.telForceReplay = forceReplay
+		out, err := s.ScheduleBlocks(blocks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	plain := run(false, false)
+	for _, mode := range []struct {
+		name        string
+		forceReplay bool
+	}{{"inline", false}, {"replay", true}} {
+		got := run(true, mode.forceReplay)
+		for i := range plain {
+			if !blocksEqual(plain[i], got[i]) {
+				t.Fatalf("telemetry (%s) changed block %d", mode.name, i)
+			}
+		}
 	}
 }

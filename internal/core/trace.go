@@ -203,7 +203,7 @@ func (sc *scratch) fastTraceStep(s *Scheduler, top int32, stalls int, issue int6
 	sc.steps = append(sc.steps, TraceStep{
 		Ready:  rd,
 		Chosen: top,
-		Inst:   sc.body[top].String(),
+		Inst:   sc.Insts[top].String(),
 		Stalls: stalls,
 		Issue:  issue,
 		Reason: reason,

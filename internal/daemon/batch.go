@@ -89,6 +89,11 @@ func (s *Server) stopBatchers() {
 	}
 	s.batchMu.Unlock()
 	s.batchWG.Wait()
+	s.batchMu.Lock()
+	for _, b := range s.batchers {
+		b.sched.Close()
+	}
+	s.batchMu.Unlock()
 }
 
 func (b *batcher) loop() {

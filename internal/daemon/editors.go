@@ -66,6 +66,10 @@ func (l *editorLRU) open(body []byte, cache *core.Cache) (*eel.Editor, error) {
 	if len(l.order) > l.cap {
 		last := l.order[len(l.order)-1]
 		l.order = l.order[:len(l.order)-1]
+		// Release the evicted editor's persistent scheduler goroutines
+		// promptly instead of waiting for its finalizer. Any in-flight
+		// Edit on it degrades to inline scheduling, not an error.
+		l.m[last].Close()
 		delete(l.m, last)
 	}
 	return ed, nil

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"strconv"
 	"sync"
 	"time"
@@ -271,6 +272,22 @@ func (s *Server) snapshotGauges() {
 	s.reg.Gauge("eeld.editors").Set(int64(s.editors.Len()))
 	s.reg.Gauge("eeld.inflight").Set(int64(s.admission.Inflight()))
 	s.reg.Gauge("eeld.queued").Set(int64(s.admission.Queued()))
+	// The host's core count and resolved scheduling pool size, so load
+	// generators (cmd/eelload) can stamp latency series with the
+	// capacity they were measured against.
+	s.reg.Gauge("eeld.host_cores").Set(int64(runtime.NumCPU()))
+	s.reg.Gauge("eeld.pool_workers").Set(int64(s.poolWorkers()))
+}
+
+// poolWorkers resolves Config.Workers the way core.Options does.
+func (s *Server) poolWorkers() int {
+	if s.cfg.Workers > 0 {
+		return s.cfg.Workers
+	}
+	if s.cfg.Workers < 0 {
+		return 1
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // scheduleRequest is the /v1/schedule JSON body: raw instruction words

@@ -368,6 +368,20 @@ func (ed *Editor) schedulerFor(model *spawn.Model, sc core.Options) *core.Schedu
 	return s
 }
 
+// Close releases the persistent worker goroutines of every scheduler
+// this editor memoized. Optional (dropped schedulers are reclaimed by a
+// finalizer) and idempotent; the editor stays usable — a later Edit
+// builds fresh schedulers.
+func (ed *Editor) Close() {
+	ed.schedMu.Lock()
+	scheds := ed.scheds
+	ed.scheds = nil
+	ed.schedMu.Unlock()
+	for _, s := range scheds {
+		s.Close()
+	}
+}
+
 // Reschedule is a pure rescheduling pass: no instrumentation, every block
 // reordered by the paper's scheduler (the Table 2 baseline).
 func (ed *Editor) Reschedule(machine *spawn.Model, sched core.Options) (*exe.Exe, error) {

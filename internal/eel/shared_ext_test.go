@@ -164,3 +164,61 @@ func TestSchedulerMemoKeysIsolate(t *testing.T) {
 		t.Fatal("reference and fast schedulers disagree on the same image")
 	}
 }
+
+// TestConcurrentEditsSharePersistentPool is the daemon's steady state
+// under the persistent worker pool: many goroutines drive instrumenting
+// Edits through one shared Editor, whose scheduler memo hands them all
+// the same Scheduler and therefore the same pool of resident worker
+// goroutines. Midway through, the Editor is Closed — the daemon LRU's
+// eviction path — which shuts the pool under the in-flight edits; those
+// must degrade to caller-inline scheduling, not fail, and every output
+// (before, during, after the Close) must stay byte-identical. Run under
+// -race in CI.
+func TestConcurrentEditsSharePersistentPool(t *testing.T) {
+	x := buildWorkloadExe(t)
+	model, err := spawn.Load(spawn.UltraSPARC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ed, err := eel.OpenShared(x, core.NewCache(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := eel.Options{Machine: model, Schedule: true, Sched: core.Options{Workers: 4}}
+	want, err := ed.Edit(&staticAdder{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines, rounds = 8, 6
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*rounds)
+	var closeOnce sync.Once
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if g == 0 && r == rounds/2 {
+					closeOnce.Do(ed.Close)
+				}
+				got, err := ed.Edit(&staticAdder{}, opts)
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d round %d: %w", g, r, err)
+					return
+				}
+				for i := range got.Text {
+					if got.Text[i] != want.Text[i] {
+						errs <- fmt.Errorf("goroutine %d round %d: word %d differs", g, r, i)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -211,6 +211,66 @@ func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
 	return h
 }
 
+// HistShard is a single-goroutine accumulation buffer for a Histogram:
+// Observe updates plain local counters, Flush merges them into the
+// shared instrument with one atomic add per touched bucket. Workers
+// observing per-item values at line rate shard locally and flush at
+// batch end; totals are identical to observing the shared instrument
+// directly, they just become visible at the flush.
+type HistShard struct {
+	h      *Histogram
+	counts []int64
+	count  int64
+	sum    int64
+	max    int64
+	live   bool // max is meaningful only after an observation
+}
+
+// NewShard returns an accumulation buffer for h (nil on a nil histogram).
+func (h *Histogram) NewShard() *HistShard {
+	if h == nil {
+		return nil
+	}
+	return &HistShard{h: h, counts: make([]int64, len(h.counts))}
+}
+
+// Observe records one value locally. A nil *HistShard is a no-op.
+func (s *HistShard) Observe(v int64) {
+	if s == nil {
+		return
+	}
+	i := sort.Search(len(s.h.bounds), func(i int) bool { return s.h.bounds[i] >= v })
+	s.counts[i]++
+	s.count++
+	s.sum += v
+	if !s.live || v > s.max {
+		s.max, s.live = v, true
+	}
+}
+
+// Flush merges the shard into its histogram and clears it for reuse.
+func (s *HistShard) Flush() {
+	if s == nil || s.count == 0 {
+		return
+	}
+	h := s.h
+	for i, c := range s.counts {
+		if c != 0 {
+			h.counts[i].Add(c)
+			s.counts[i] = 0
+		}
+	}
+	h.count.Add(s.count)
+	h.sum.Add(s.sum)
+	for {
+		m := h.max.Load()
+		if s.max <= m || h.max.CompareAndSwap(m, s.max) {
+			break
+		}
+	}
+	s.count, s.sum, s.max, s.live = 0, 0, 0, false
+}
+
 // ExpBuckets returns n upper bounds starting at start and doubling, a
 // convenient default for cycle and latency histograms.
 func ExpBuckets(start int64, n int) []int64 {

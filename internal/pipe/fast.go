@@ -137,6 +137,29 @@ func (p *Prepared) Accesses() (reads, writes []RegAccess) {
 	return p.reads[:p.nr], p.writes[:p.nw]
 }
 
+// Spilled reports whether the accesses exceeded the inline arrays, so
+// probes against this Prepared fall back to full resolution.
+func (p *Prepared) Spilled() bool { return p.big }
+
+// Compiled returns the prepared instruction's compiled group.
+func (p *Prepared) Compiled() *spawn.CompiledGroup { return p.cg }
+
+// NewPrepared assembles a Prepared from already-resolved placement
+// inputs, for callers that run their own resolution (the simulator
+// keeps a per-static-instruction memo and shares this representation
+// with the scheduler). Accesses beyond the inline capacity mark the
+// value spilled, exactly as Prepare would.
+func NewPrepared(g *spawn.Group, cg *spawn.CompiledGroup, reads, writes []RegAccess) Prepared {
+	p := Prepared{g: g, cg: cg}
+	if len(reads) > len(p.reads) || len(writes) > len(p.writes) {
+		p.big = true
+		return p
+	}
+	p.nr = int8(copy(p.reads[:], reads))
+	p.nw = int8(copy(p.writes[:], writes))
+	return p
+}
+
 // Prepare resolves inst once for repeated prepared probes.
 func (s *FastState) Prepare(inst sparc.Inst) (Prepared, error) {
 	var p Prepared

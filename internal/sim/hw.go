@@ -56,21 +56,12 @@ func MachineRules(m spawn.Machine) Rules {
 	return Rules{RedirectPenalty: 1}
 }
 
-// prepared carries one instruction's pre-resolved placement inputs: its
-// compiled timing group, register accesses and memory-class flags, copied
-// into caller-owned storage. Timing memoizes one per static text index so
-// a 600k-step run resolves each of its few thousand static instructions
-// exactly once.
-type prepared struct {
-	ready   bool // the entry has been resolved
-	big     bool // accesses exceed the inline arrays; resolve per place
-	isLoad  bool
-	isStore bool
-	cg      *spawn.CompiledGroup
-	nr, nw  int8
-	reads   [6]pipe.RegAccess
-	writes  [6]pipe.RegAccess
-}
+// The simulator shares the scheduler's pre-resolved placement
+// representation: pipe.Prepared carries an instruction's timing group,
+// compiled group and register accesses, and core.InstFlags caches the
+// memory/trap predicates the grouping rules test. Timing memoizes one
+// of each per static text index (via core.BlockSoA) so a 600k-step run
+// resolves each of its few thousand static instructions exactly once.
 
 const hwResolveCacheSize = 64 // power of two
 
@@ -117,9 +108,10 @@ type HW struct {
 	// without a per-static-index memo (HWPipeline scheduling probes);
 	// direct-mapped, overwrite on collision.
 	rcache [hwResolveCacheSize]struct {
-		inst sparc.Inst
-		ok   bool
-		p    prepared
+		inst  sparc.Inst
+		ok    bool
+		flags core.InstFlags
+		p     pipe.Prepared
 	}
 
 	horizon   int64 // ring rows; no group holds units this long
@@ -172,24 +164,15 @@ func (h *HW) Delay(c int64) {
 	}
 }
 
-// prepare resolves inst's timing group, register accesses and flags into p.
-func (h *HW) prepare(p *prepared, inst *sparc.Inst) error {
+// prepare resolves inst's timing group and register accesses into p
+// (shared with the scheduler: see pipe.NewPrepared).
+func (h *HW) prepare(p *pipe.Prepared, inst *sparc.Inst) error {
 	g, err := h.model.GroupOf(*inst)
 	if err != nil {
 		return err
 	}
-	p.cg = &h.tab.Groups[g.ID]
-	p.isLoad = inst.Op.IsLoad()
-	p.isStore = inst.Op.IsStore()
 	reads, writes := h.resolver.Resolve(g, *inst)
-	if len(reads) > len(p.reads) || len(writes) > len(p.writes) {
-		p.big = true
-	} else {
-		p.big = false
-		p.nr = int8(copy(p.reads[:], reads))
-		p.nw = int8(copy(p.writes[:], writes))
-	}
-	p.ready = true
+	*p = pipe.NewPrepared(g, &h.tab.Groups[g.ID], reads, writes)
 	return nil
 }
 
@@ -201,15 +184,16 @@ func (h *HW) place(inst *sparc.Inst, commit bool) (int64, error) {
 			e.ok = false
 			return 0, err
 		}
+		e.flags = core.InstFlagsOf(*inst)
 		e.inst, e.ok = *inst, true
 	}
-	return h.placePrepared(&e.p, inst, commit)
+	return h.placePrepared(&e.p, e.flags, inst, commit)
 }
 
 // placePrepared is place with the resolution work already done. inst must
 // be the instruction p was prepared from.
-func (h *HW) placePrepared(p *prepared, inst *sparc.Inst, commit bool) (int64, error) {
-	if p.big {
+func (h *HW) placePrepared(p *pipe.Prepared, flags core.InstFlags, inst *sparc.Inst, commit bool) (int64, error) {
+	if p.Spilled() {
 		// Accesses exceed the inline arrays; re-resolve into the shared
 		// scratch buffers (rare: no shipped description produces >6).
 		g, err := h.model.GroupOf(*inst)
@@ -217,14 +201,14 @@ func (h *HW) placePrepared(p *prepared, inst *sparc.Inst, commit bool) (int64, e
 			return 0, err
 		}
 		reads, writes := h.resolver.Resolve(g, *inst)
-		return h.placeResolved(p, reads, writes, inst, commit)
+		return h.placeResolved(p.Compiled(), flags, reads, writes, inst, commit)
 	}
-	return h.placeResolved(p, p.reads[:p.nr], p.writes[:p.nw], inst, commit)
+	reads, writes := p.Accesses()
+	return h.placeResolved(p.Compiled(), flags, reads, writes, inst, commit)
 }
 
 // placeResolved runs the placement search against the compiled tables.
-func (h *HW) placeResolved(p *prepared, reads, writes []pipe.RegAccess, inst *sparc.Inst, commit bool) (int64, error) {
-	cg := p.cg
+func (h *HW) placeResolved(cg *spawn.CompiledGroup, flags core.InstFlags, reads, writes []pipe.RegAccess, inst *sparc.Inst, commit bool) (int64, error) {
 	if cg.Infeasible {
 		return 0, fmt.Errorf("sim: cannot place %v", inst)
 	}
@@ -235,7 +219,7 @@ func (h *HW) placeResolved(p *prepared, reads, writes []pipe.RegAccess, inst *sp
 	if h.fetchMin > t {
 		t = h.fetchMin
 	}
-	if h.rules.StoreLoadGap > 0 && p.isLoad && h.lastStore >= 0 {
+	if h.rules.StoreLoadGap > 0 && flags&core.FlagLoad != 0 && h.lastStore >= 0 {
 		if min := h.lastStore + h.rules.StoreLoadGap; min > t {
 			t = min
 		}
@@ -273,7 +257,7 @@ search:
 	}
 
 	if commit {
-		h.commitAt(p, cg, t, writes)
+		h.commitAt(flags, cg, t, writes)
 	}
 	return t, nil
 }
@@ -281,7 +265,7 @@ search:
 // commitAt records the placed instruction's effects. Ring rows whose
 // cycles fall behind the new clock are zeroed before the new usage lands,
 // because they alias cycles inside the advanced window.
-func (h *HW) commitAt(p *prepared, cg *spawn.CompiledGroup, t int64, writes []pipe.RegAccess) {
+func (h *HW) commitAt(flags core.InstFlags, cg *spawn.CompiledGroup, t int64, writes []pipe.RegAccess) {
 	nu := int64(h.nu)
 	if t > h.clock {
 		if t-h.clock >= h.horizon {
@@ -306,10 +290,10 @@ func (h *HW) commitAt(p *prepared, cg *spawn.CompiledGroup, t int64, writes []pi
 	if h.fetchMin < t {
 		h.fetchMin = t
 	}
-	if h.rules.MemEndsGroup && (p.isLoad || p.isStore) {
+	if h.rules.MemEndsGroup && flags&(core.FlagLoad|core.FlagStore) != 0 {
 		h.Delay(t + 1)
 	}
-	if p.isStore {
+	if flags&core.FlagStore != 0 {
 		h.lastStore = t
 	}
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"eel/internal/core"
 	"eel/internal/exe"
 	"eel/internal/sparc"
 	"eel/internal/spawn"
@@ -55,12 +56,15 @@ type Timing struct {
 	base   uint32 // text base for fetch addresses
 
 	// prog memoizes each static instruction's timing-group resolution and
-	// held-unit placement inputs per text index (nil when the text length
+	// held-unit placement inputs per text index, in the scheduler's
+	// structure-of-arrays block representation (core.BlockSoA, sized via
+	// ResizePrep: only the Prep and Flags arrays are used; a Prep slot
+	// with a nil Group is not yet resolved). Empty when the text length
 	// is unknown — plain NewTiming callers — in which case Observe falls
-	// back to HW's per-instruction resolve cache). A 600k-step run
+	// back to HW's per-instruction resolve cache. A 600k-step run
 	// touches only a few thousand static instructions, so each is
 	// resolved at most once.
-	prog []prepared
+	prog core.BlockSoA
 
 	lastIdx int
 	// Pending conditional branch, for misprediction accounting.
@@ -93,7 +97,7 @@ func NewTiming(model *spawn.Model, cfg TimingConfig, textBase uint32) *Timing {
 // execution, instead of on every dynamic instruction.
 func NewProgramTiming(model *spawn.Model, cfg TimingConfig, textBase uint32, textLen int) *Timing {
 	t := NewTiming(model, cfg, textBase)
-	t.prog = make([]prepared, textLen)
+	t.prog.ResizePrep(textLen)
 	return t
 }
 
@@ -110,12 +114,7 @@ func (t *Timing) ResetFor(textBase uint32, textLen int) {
 	t.lastIdx, t.pendIdx = -1, -1
 	t.pendDisp, t.sinceCTI = 0, 0
 	t.instructions, t.mispredicts, t.redirects = 0, 0, 0
-	if cap(t.prog) >= textLen {
-		t.prog = t.prog[:textLen]
-		clear(t.prog)
-	} else {
-		t.prog = make([]prepared, textLen)
-	}
+	t.prog.ResizePrep(textLen)
 }
 
 // Observe consumes one executed instruction. It matches sim.Observer.
@@ -151,13 +150,16 @@ func (t *Timing) Observe(idx int, inst *sparc.Inst) {
 
 	var issue int64
 	var err error
-	if t.prog != nil && idx < len(t.prog) {
-		p := &t.prog[idx]
-		if !p.ready {
+	if idx < len(t.prog.Prep) {
+		p := &t.prog.Prep[idx]
+		if p.Group() == nil {
 			err = t.hw.prepare(p, inst)
+			if err == nil {
+				t.prog.Flags[idx] = core.InstFlagsOf(*inst)
+			}
 		}
 		if err == nil {
-			issue, err = t.hw.placePrepared(p, inst, true)
+			issue, err = t.hw.placePrepared(p, t.prog.Flags[idx], inst, true)
 		}
 	} else {
 		issue, err = t.hw.place(inst, true)
