@@ -1,0 +1,262 @@
+package cfg
+
+import "sort"
+
+// Loop is a natural loop: a header block plus every block that can reach
+// one of the loop's back edges without leaving through the header. Back
+// edges sharing a header are merged into one loop, so headers are unique
+// across the slice returned by Loops.
+type Loop struct {
+	// Header is the loop entry. It dominates every block in the loop —
+	// that is the legality rule Loops enforces: a retreating edge whose
+	// target does NOT dominate its source closes a multi-entry
+	// (irreducible) region, which has a second way in besides the
+	// header. Rewriting such a region as header-entered (prologue +
+	// kernel) would miscompile the side entry, so those edges are
+	// excluded and only counted.
+	Header *Block
+	// Latches are the sources of the loop's back edges, ascending by
+	// block index. A well-formed counted loop has exactly one.
+	Latches []*Block
+	// Blocks is the loop membership including Header, ascending by
+	// block index.
+	Blocks []*Block
+	// Depth is the loop nesting depth: the number of loops (including
+	// this one) whose membership contains Header. Unlike Block.LoopDepth,
+	// which counts enclosing back edges, Depth counts merged loops, so
+	// two latches sharing a header contribute one level, not two.
+	Depth int
+	// Inner reports that no other loop's header lies inside this loop.
+	Inner bool
+
+	member map[int]bool
+}
+
+// SingleBlock reports whether the loop body is exactly the header block
+// (the header's own CTI is the back edge).
+func (l *Loop) SingleBlock() bool { return len(l.Blocks) == 1 }
+
+// Contains reports whether b belongs to the loop.
+func (l *Loop) Contains(b *Block) bool { return b != nil && l.member[b.Index] }
+
+// Preheader returns the unique predecessor of the header from outside
+// the loop, or nil if the header has no outside predecessor or more than
+// one. Note that a block entered only by call or return has no CFG
+// predecessors at all, so a procedure whose first block is a loop header
+// yields nil here.
+func (l *Loop) Preheader() *Block {
+	var pre *Block
+	for _, p := range l.Header.Preds {
+		if l.Contains(p) {
+			continue
+		}
+		if pre != nil {
+			return nil
+		}
+		pre = p
+	}
+	return pre
+}
+
+// Loops finds the natural loops of the graph and the number of
+// retreating edges excluded as irreducible.
+//
+// Because call and jmpl contribute no intra-procedural edges, procedure
+// bodies are unreachable from block 0 in this CFG; dominators are
+// therefore computed from a virtual root that fronts every block without
+// predecessors, so loops inside call-entered procedures are found too.
+// Blocks unreachable even from those roots (a cycle with no entry at
+// all) take no part in loop detection.
+//
+// A retreating DFS edge u->v is accepted as a loop back edge only when v
+// dominates u; the rest — back edges into a non-header, i.e. multi-entry
+// or irreducible regions — are excluded from the result and counted in
+// the second return value. See Loop.Header for why such regions are
+// unsafe to transform.
+func (g *Graph) Loops() ([]*Loop, int) {
+	n := len(g.Blocks)
+	if n == 0 {
+		return nil, 0
+	}
+
+	// Reverse postorder over the multi-root DFS. The virtual root is
+	// index n.
+	const root = -1
+	rpo := make([]int, 0, n)
+	state := make([]int8, n) // 0 white, 1 gray, 2 black
+	var dfs func(i int)
+	dfs = func(i int) {
+		state[i] = 1
+		for _, s := range g.Blocks[i].Succs {
+			if state[s.Index] == 0 {
+				dfs(s.Index)
+			}
+		}
+		state[i] = 2
+		rpo = append(rpo, i)
+	}
+	dfs(0)
+	for i := 1; i < n; i++ {
+		if state[i] == 0 && len(g.Blocks[i].Preds) == 0 {
+			dfs(i)
+		}
+	}
+	for i, j := 0, len(rpo)-1; i < j; i, j = i+1, j-1 {
+		rpo[i], rpo[j] = rpo[j], rpo[i]
+	}
+	rpoPos := make([]int, n)
+	for i := range rpoPos {
+		rpoPos[i] = -1
+	}
+	for pos, b := range rpo {
+		rpoPos[b] = pos
+	}
+
+	// Iterative dominators (Cooper/Harvey/Kennedy). DFS roots have the
+	// virtual root as immediate dominator.
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -2 // unreached
+	}
+	idom[0] = root // block 0 is the entry even when it has predecessors
+	for _, b := range rpo {
+		if len(g.Blocks[b].Preds) == 0 {
+			idom[b] = root
+		}
+	}
+	pos := func(x int) int {
+		if x == root {
+			return -1
+		}
+		return rpoPos[x]
+	}
+	intersect := func(a, b int) int {
+		for a != b {
+			for pos(a) > pos(b) {
+				a = idom[a]
+			}
+			for pos(b) > pos(a) {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if idom[b] == root {
+				continue
+			}
+			newIdom := -2
+			for _, p := range g.Blocks[b].Preds {
+				if idom[p.Index] == -2 {
+					continue // pred not yet processed / unreachable
+				}
+				if newIdom == -2 {
+					newIdom = p.Index
+				} else {
+					newIdom = intersect(newIdom, p.Index)
+				}
+			}
+			if newIdom != -2 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	dominates := func(v, u int) bool {
+		for u != -2 {
+			if u == v {
+				return true
+			}
+			if u == root {
+				return false
+			}
+			u = idom[u]
+		}
+		return false
+	}
+
+	// Retreating edges, split into dominance-verified back edges (per
+	// header) and irreducible leftovers.
+	latches := make(map[int][]int) // header index -> latch indices
+	irreducible := 0
+	state = make([]int8, n)
+	var classify func(i int)
+	classify = func(i int) {
+		state[i] = 1
+		for _, s := range g.Blocks[i].Succs {
+			switch state[s.Index] {
+			case 0:
+				classify(s.Index)
+			case 1:
+				if dominates(s.Index, i) {
+					latches[s.Index] = append(latches[s.Index], i)
+				} else {
+					irreducible++
+				}
+			}
+		}
+		state[i] = 2
+	}
+	for _, b := range rpo {
+		if state[b] == 0 {
+			classify(b)
+		}
+	}
+
+	// Natural loop per header: header plus everything reaching a latch
+	// without passing through the header.
+	headers := make([]int, 0, len(latches))
+	for h := range latches {
+		headers = append(headers, h)
+	}
+	sort.Ints(headers)
+	loops := make([]*Loop, 0, len(headers))
+	for _, h := range headers {
+		member := map[int]bool{h: true}
+		stack := append([]int(nil), latches[h]...)
+		for len(stack) > 0 {
+			b := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if member[b] {
+				continue
+			}
+			member[b] = true
+			for _, p := range g.Blocks[b].Preds {
+				stack = append(stack, p.Index)
+			}
+		}
+		l := &Loop{Header: g.Blocks[h], member: member}
+		for _, li := range latches[h] {
+			l.Latches = append(l.Latches, g.Blocks[li])
+		}
+		sort.Slice(l.Latches, func(i, j int) bool { return l.Latches[i].Index < l.Latches[j].Index })
+		idxs := make([]int, 0, len(member))
+		for b := range member {
+			idxs = append(idxs, b)
+		}
+		sort.Ints(idxs)
+		for _, b := range idxs {
+			l.Blocks = append(l.Blocks, g.Blocks[b])
+		}
+		loops = append(loops, l)
+	}
+
+	// Nesting depth and innermost flags over the merged loops.
+	for _, l := range loops {
+		for _, m := range loops {
+			if m.Contains(l.Header) {
+				l.Depth++
+			}
+		}
+		l.Inner = true
+		for _, m := range loops {
+			if m != l && l.Contains(m.Header) {
+				l.Inner = false
+				break
+			}
+		}
+	}
+	return loops, irreducible
+}

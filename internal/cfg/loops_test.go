@@ -1,0 +1,252 @@
+package cfg
+
+import (
+	"testing"
+
+	"eel/internal/sparc"
+)
+
+func TestLoopsSimple(t *testing.T) {
+	g, err := Build(assemble(t, loopSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loops, irr := g.Loops()
+	if irr != 0 {
+		t.Fatalf("irreducible = %d, want 0", irr)
+	}
+	if len(loops) != 1 {
+		t.Fatalf("got %d loops, want 1", len(loops))
+	}
+	l := loops[0]
+	if l.Header != g.Blocks[1] || !l.SingleBlock() || len(l.Latches) != 1 || l.Latches[0] != l.Header {
+		t.Errorf("loop shape wrong: header=%d latches=%d single=%v",
+			l.Header.Index, len(l.Latches), l.SingleBlock())
+	}
+	if l.Depth != 1 || !l.Inner {
+		t.Errorf("depth=%d inner=%v, want 1/true", l.Depth, l.Inner)
+	}
+	if pre := l.Preheader(); pre != g.Blocks[0] {
+		t.Errorf("preheader = %v, want block 0", pre)
+	}
+	if !l.Contains(g.Blocks[1]) || l.Contains(g.Blocks[0]) || l.Contains(g.Blocks[2]) {
+		t.Error("Contains wrong")
+	}
+}
+
+// Two back edges into one header merge into a single loop: Loop.Depth
+// counts merged loops (1), while Block.LoopDepth keeps counting back
+// edges (2 for blocks inside both).
+func TestLoopsNestedSharedHeader(t *testing.T) {
+	src := `
+head:
+	add %g1, 1, %g1
+	cmp %g1, 10
+	bne head
+	nop
+	add %g2, 1, %g2
+	cmp %g2, 20
+	bne head
+	nop
+	ta 0
+`
+	g, err := Build(assemble(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loops, irr := g.Loops()
+	if irr != 0 || len(loops) != 1 {
+		t.Fatalf("loops=%d irreducible=%d, want 1/0", len(loops), irr)
+	}
+	l := loops[0]
+	if l.Header != g.Blocks[0] || len(l.Latches) != 2 || l.SingleBlock() {
+		t.Errorf("merged loop shape wrong: latches=%d blocks=%d", len(l.Latches), len(l.Blocks))
+	}
+	if l.Depth != 1 || !l.Inner {
+		t.Errorf("merged loop depth=%d inner=%v, want 1/true", l.Depth, l.Inner)
+	}
+	// The approximate per-back-edge counter sees two enclosing edges for
+	// the inner latch, one for the outer tail.
+	if g.Blocks[0].LoopDepth != 2 || g.Blocks[1].LoopDepth != 1 {
+		t.Errorf("LoopDepth = %d/%d, want 2/1", g.Blocks[0].LoopDepth, g.Blocks[1].LoopDepth)
+	}
+}
+
+// A back edge whose CTI annuls its delay slot is still a structural
+// loop; rejecting annulled back edges is the pipeliner's job, not the
+// CFG's.
+func TestLoopsAnnulledBackEdge(t *testing.T) {
+	src := `
+	mov 0, %g1
+loop:
+	add %g1, 1, %g1
+	cmp %g1, 10
+	bne,a loop
+	sub %g1, 2, %g2
+	ta 0
+`
+	g, err := Build(assemble(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loops, irr := g.Loops()
+	if irr != 0 || len(loops) != 1 {
+		t.Fatalf("loops=%d irreducible=%d, want 1/0", len(loops), irr)
+	}
+	l := loops[0]
+	if !l.SingleBlock() || l.Header.LoopDepth != 1 {
+		t.Errorf("annulled loop shape wrong: single=%v depth=%d", l.SingleBlock(), l.Header.LoopDepth)
+	}
+	cti, _, ok := l.Header.CTI()
+	if !ok || !cti.Annul {
+		t.Errorf("back edge should be an annulled CTI: %v", cti)
+	}
+}
+
+// A zero-body loop (the block is just the CTI and its delay slot) is
+// found and reports an empty schedulable body.
+func TestLoopsZeroBody(t *testing.T) {
+	src := `
+	mov 0, %g1
+loop:
+	ba loop
+	nop
+	ta 0
+`
+	g, err := Build(assemble(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loops, irr := g.Loops()
+	if irr != 0 || len(loops) != 1 {
+		t.Fatalf("loops=%d irreducible=%d, want 1/0", len(loops), irr)
+	}
+	l := loops[0]
+	if !l.SingleBlock() || len(l.Header.Body()) != 0 {
+		t.Errorf("zero-body loop: single=%v body=%d", l.SingleBlock(), len(l.Header.Body()))
+	}
+	if l.Header.LoopDepth != 1 || l.Depth != 1 {
+		t.Errorf("zero-body loop depth: block=%d loop=%d", l.Header.LoopDepth, l.Depth)
+	}
+	// ba never falls through, so the trap block is unreachable; the loop
+	// has a unique preheader regardless.
+	if pre := l.Preheader(); pre != g.Blocks[0] {
+		t.Errorf("preheader = %v", pre)
+	}
+}
+
+// A branch into the middle of a loop makes the region multi-entry: the
+// retreating edge's target no longer dominates its source, so Loops
+// excludes it rather than miscompiling the side entry.
+func TestLoopsIrreducibleExcluded(t *testing.T) {
+	src := `
+	cmp %g1, 0
+	ble mid
+	nop
+head:
+	add %g1, 1, %g1
+mid:
+	cmp %g1, 10
+	bne head
+	nop
+	ta 0
+`
+	g, err := Build(assemble(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loops, irr := g.Loops()
+	if len(loops) != 0 {
+		t.Fatalf("irreducible region produced %d loops, want 0", len(loops))
+	}
+	if irr != 1 {
+		t.Errorf("irreducible = %d, want 1", irr)
+	}
+}
+
+// Proper nesting: distinct headers, inner loop inside the outer one.
+func TestLoopsProperNesting(t *testing.T) {
+	g, err := Build(assemble(t, `
+outer:
+	mov 0, %g2
+inner:
+	add %g2, 1, %g2
+	cmp %g2, 10
+	bne inner
+	nop
+	add %g1, 1, %g1
+	cmp %g1, 10
+	bne outer
+	nop
+	ta 0
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loops, irr := g.Loops()
+	if irr != 0 || len(loops) != 2 {
+		t.Fatalf("loops=%d irreducible=%d, want 2/0", len(loops), irr)
+	}
+	outer, inner := loops[0], loops[1]
+	if outer.Header.Index > inner.Header.Index {
+		outer, inner = inner, outer
+	}
+	if !inner.SingleBlock() || !inner.Inner || inner.Depth != 2 {
+		t.Errorf("inner loop wrong: single=%v inner=%v depth=%d", inner.SingleBlock(), inner.Inner, inner.Depth)
+	}
+	if outer.Inner || outer.Depth != 1 || len(outer.Blocks) != 3 {
+		t.Errorf("outer loop wrong: inner=%v depth=%d blocks=%d", outer.Inner, outer.Depth, len(outer.Blocks))
+	}
+	if !outer.Contains(inner.Header) || inner.Contains(outer.Header) {
+		t.Error("nesting containment wrong")
+	}
+}
+
+// Loops inside call-entered procedures are unreachable from block 0 in
+// this CFG (call adds no edge); the virtual-root dominator computation
+// must still find them.
+func TestLoopsCallEnteredProcedure(t *testing.T) {
+	src := `
+	mov 3, %o0
+	call k
+	nop
+	ta 0
+k:
+	set 8, %l7
+kloop:
+	add %g1, 1, %g1
+	subcc %l7, 1, %l7
+	bne kloop
+	nop
+	retl
+	nop
+`
+	g, err := Build(assemble(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loops, irr := g.Loops()
+	if irr != 0 || len(loops) != 1 {
+		t.Fatalf("loops=%d irreducible=%d, want 1/0", len(loops), irr)
+	}
+	l := loops[0]
+	if !l.SingleBlock() {
+		t.Fatalf("kernel loop should be single-block: %d blocks", len(l.Blocks))
+	}
+	if cti, _, _ := l.Header.CTI(); cti.Op != sparc.OpBicc || cti.Cond != sparc.CondNE {
+		t.Errorf("back edge CTI wrong: %v", cti)
+	}
+	if pre := l.Preheader(); pre == nil || pre.Start != l.Header.Start-1 {
+		t.Errorf("preheader should be the set block: %+v", pre)
+	}
+}
+
+func TestLoopsEmptyGraph(t *testing.T) {
+	g, err := Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loops, irr := g.Loops(); len(loops) != 0 || irr != 0 {
+		t.Error("empty graph should have no loops")
+	}
+}

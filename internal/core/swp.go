@@ -1,0 +1,600 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"eel/internal/pipe"
+	"eel/internal/sparc"
+	"eel/internal/spawn"
+)
+
+// This file is the modulo scheduler behind software pipelining (DESIGN.md
+// §14): given a single-block counted loop and its trip count, it searches
+// for a steady-state kernel of II cycles that overlaps consecutive
+// iterations, and emits the kernel plus the prologue and epilogue that
+// fill and drain the pipeline. The scheduler reuses the block scheduler's
+// machinery — BlockSoA register masks and hazard flags for dependence
+// discovery, the compiled tables' held-unit footprints for the modulo
+// reservation table, and oracleEdgeLat for provable issue-distance
+// bounds — so the kernel search prices instructions exactly the way the
+// block scheduler and the simulator do.
+//
+// Legality needs no register renaming. The simulator executes
+// instructions functionally in order (latencies shape Timing cycles, not
+// values), so a rewrite is semantics-preserving iff every dependent pair
+// of dynamic instances executes in its original order. The modulo
+// constraint t_j - t_i >= lat - II*d for every dependence edge i -> j at
+// iteration distance d (lat >= 1 when d >= 1), together with emitting
+// each tick's instances sorted by (phase, body index), guarantees exactly
+// that — see the legality argument on emit.
+
+// ErrNotPipelined reports that a loop was examined and declined: the
+// shape is not a pipelinable counted loop, no feasible II was found, or
+// the result would not overlap iterations at all. Callers treat it as
+// "keep the original loop", not as failure.
+var ErrNotPipelined = errors.New("core: loop not pipelined")
+
+func notPipelined(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, ErrNotPipelined)...)
+}
+
+// SWPOptions tunes the kernel search.
+type SWPOptions struct {
+	// MaxII caps the initiation-interval search (0 = MII+8). The search
+	// gives up past the cap: a kernel that long hides no latency the
+	// plain block schedule would not.
+	MaxII int
+	// MaxBody caps the loop body size in instructions (0 = 64).
+	MaxBody int
+}
+
+// PipelinedLoop is one software-pipelined loop, ready to splice: the
+// prologue fills the pipeline (stages of the first SC-1 iterations), the
+// kernel runs trip-SC+1 times under the original counter exit, and the
+// epilogue drains the remaining stages. The kernel ends with the
+// original back-edge CTI (displacement retargeted to the kernel start,
+// so it is layout-invariant) and a delay slot.
+type PipelinedLoop struct {
+	Prologue []sparc.Inst
+	Kernel   []sparc.Inst
+	Epilogue []sparc.Inst
+
+	II     int // achieved initiation interval, cycles
+	MII    int // max(ResMII, RecMII) lower bound
+	ResMII int // resource floor from compiled unit capacities
+	RecMII int // recurrence floor from dependence cycles
+	Stages int // SC: kernel overlaps this many iterations
+	Trip   int // constant trip count the rewrite assumes
+
+	// KernelTicks is how many times the kernel executes: Trip-Stages+1.
+	KernelTicks int
+}
+
+// swpEdge is one dependence edge i -> j at iteration distance dist:
+// instance (j, n+dist) must issue at least lat cycles after (i, n).
+type swpEdge struct {
+	from, to  int32
+	lat, dist int32
+}
+
+// PipelineLoop modulo-schedules one single-block counted loop. block is
+// the full block — body, back-edge CTI, delay slot — and trip its
+// constant iteration count (the caller proves it from the preheader; see
+// eel's candidate analysis). The shape requirements, each of which
+// otherwise breaks the steady-state construction:
+//
+//   - the CTI is a non-annulled conditional bne whose displacement
+//     targets the block start (an annulled delay slot executes
+//     conditionally, pinning it to the branch; other conditions are not
+//     the counted-loop idiom);
+//   - exactly one body instruction writes the condition codes: a
+//     "subcc r, imm, r" with imm >= 1 — the loop counter. Stage-0
+//     placement of this instruction makes the unmodified branch exit
+//     the kernel after exactly trip-SC+1 ticks, with the counter and
+//     ICC holding their original exit values;
+//   - no other body instruction writes r or the condition codes
+//     (a second writer would desynchronize the exit test);
+//   - trip >= SC, so the prologue's unconditional stage copies never
+//     overrun the trip count.
+//
+// The first return is nil with an ErrNotPipelined-wrapped error when the
+// loop is declined; any other error is an internal failure.
+func (s *Scheduler) PipelineLoop(block []sparc.Inst, trip int, opts SWPOptions) (*PipelinedLoop, error) {
+	n := len(block)
+	if n < 2 || !block[n-2].IsCTI() {
+		return nil, notPipelined("no terminal CTI")
+	}
+	cti, delay := block[n-2], block[n-1]
+	if cti.Op != sparc.OpBicc || cti.Cond != sparc.CondNE {
+		return nil, notPipelined("back edge %v is not bne", cti.Mnemonic())
+	}
+	if cti.Annul {
+		return nil, notPipelined("annulled back edge pins its delay slot")
+	}
+	if int(cti.Disp) != -(n - 2) {
+		return nil, notPipelined("back edge does not target the block start")
+	}
+	if trip < 1 {
+		return nil, notPipelined("unknown or zero trip count")
+	}
+
+	// Execution-order body: the delay-slot instruction runs last in the
+	// iteration (normalizeBlock's convention).
+	body := append([]sparc.Inst(nil), block[:n-2]...)
+	if !delay.IsNop() {
+		body = append(body, delay)
+	}
+	nb := len(body)
+	if nb == 0 {
+		return nil, notPipelined("empty body")
+	}
+	maxBody := opts.MaxBody
+	if maxBody <= 0 {
+		maxBody = 64
+	}
+	if nb > maxBody {
+		return nil, notPipelined("body of %d exceeds %d instructions", nb, maxBody)
+	}
+
+	var soa BlockSoA
+	if err := soa.Build(s.model, body, false); err != nil {
+		return nil, err
+	}
+	ctrl := -1
+	var ccMask regMask
+	ccMask.set(sparc.ICC)
+	for i := range body {
+		if soa.Flags[i]&FlagTrap != 0 {
+			return nil, notPipelined("trap in body")
+		}
+		if body[i].IsCTI() {
+			return nil, notPipelined("CTI in body")
+		}
+		if !soa.defMask[i].intersects(ccMask) {
+			continue
+		}
+		if ctrl >= 0 {
+			return nil, notPipelined("more than one condition-code writer")
+		}
+		ctrl = i
+	}
+	if ctrl < 0 {
+		return nil, notPipelined("no condition-code writer feeds the branch")
+	}
+	c := body[ctrl]
+	if c.Op != sparc.OpSubcc || !c.UseImm || c.Imm < 1 || c.Rd != c.Rs1 || c.Rd == sparc.G0 {
+		return nil, notPipelined("condition-code writer %v is not the counter idiom", c)
+	}
+	var counterMask regMask
+	counterMask.set(c.Rd)
+	for i := range body {
+		if i != ctrl && soa.defMask[i].intersects(counterMask) {
+			return nil, notPipelined("counter %v has a second writer", c.Rd)
+		}
+	}
+
+	// Prepared placement inputs for oracleEdgeLat's provable bounds.
+	fs := pipe.NewFastState(s.model)
+	prep := make([]pipe.Prepared, nb)
+	for i, inst := range body {
+		p, err := fs.Prepare(inst)
+		if err != nil {
+			return nil, err
+		}
+		prep[i] = p
+	}
+
+	edges := buildSWPEdges(&soa, prep, s.opts.ConservativeMem)
+
+	// ResMII: every iteration issues each instruction once, so each
+	// unit's per-iteration demand divided by its copy count floors II.
+	tab := s.model.Compiled()
+	nu := len(tab.UnitCounts)
+	demand := make([]int64, nu)
+	for i := range body {
+		for _, e := range tab.Groups[soa.Groups[i].ID].NZ {
+			demand[e.Unit] += int64(e.Num)
+		}
+	}
+	resMII := 1
+	for u, d := range demand {
+		if need := int((d + int64(tab.UnitCounts[u]) - 1) / int64(tab.UnitCounts[u])); need > resMII {
+			resMII = need
+		}
+	}
+
+	// RecMII: the smallest II whose II-discounted dependence graph has
+	// no positive-weight cycle (weights lat - II*dist). Cycle weights
+	// strictly decrease in II (every cycle crosses an iteration), so
+	// feasibility is monotone and binary search applies. A sound upper
+	// bound: at II = 1 + sum of all edge latencies, any simple cycle's
+	// weight is at most that sum minus II < 0.
+	var latSum int64
+	for _, e := range edges {
+		latSum += int64(e.lat)
+	}
+	recMII := sort.Search(int(latSum)+1, func(ii int) bool {
+		return recFeasible(nb, edges, ii+1)
+	}) + 1
+	mii := resMII
+	if recMII > mii {
+		mii = recMII
+	}
+	maxII := opts.MaxII
+	if maxII <= 0 {
+		maxII = mii + 8
+	}
+
+	for ii := mii; ii <= maxII; ii++ {
+		times, ok := modSchedule(nb, edges, &soa, tab, ii, ctrl)
+		if !ok {
+			continue
+		}
+		pl, err := emit(body, times, ii, trip, cti)
+		if err != nil {
+			return nil, err
+		}
+		pl.ResMII, pl.RecMII, pl.MII = resMII, recMII, mii
+		return pl, nil
+	}
+	return nil, notPipelined("no feasible kernel at II <= %d", maxII)
+}
+
+// buildSWPEdges discovers the loop's dependences: program-order edges
+// within one iteration (dist 0, i < j) and conservative all-pairs edges
+// at iteration distance 1 (any i, j — including i == j — whose register
+// masks or memory classes collide; registers are not renamed, so every
+// reuse is a real constraint). Distances >= 2 need no edges: a dist-1
+// edge bounds the stage skew by one, which already orders instances two
+// or more iterations apart.
+//
+// Edge latency is the oracle's provable issue-distance bound for the
+// pair (oracleEdgeLat), clamped to >= 1 for loop-carried edges — the
+// strict inequality that keeps cross-iteration instances ordered.
+func buildSWPEdges(soa *BlockSoA, prep []pipe.Prepared, conservativeMem bool) []swpEdge {
+	nb := len(soa.Insts)
+	dep := func(i, j int) bool {
+		return soa.defMask[i].intersects(soa.useMask[j]) ||
+			soa.useMask[i].intersects(soa.defMask[j]) ||
+			soa.defMask[i].intersects(soa.defMask[j]) ||
+			memConflictFlags(soa.Flags[i], soa.Flags[j], conservativeMem)
+	}
+	var edges []swpEdge
+	for i := 0; i < nb; i++ {
+		for j := 0; j < nb; j++ {
+			if !dep(i, j) {
+				continue
+			}
+			lat := oracleEdgeLat(&prep[i], &prep[j])
+			if i < j {
+				edges = append(edges, swpEdge{from: int32(i), to: int32(j), lat: lat, dist: 0})
+			}
+			carried := lat
+			if carried < 1 {
+				carried = 1
+			}
+			edges = append(edges, swpEdge{from: int32(i), to: int32(j), lat: carried, dist: 1})
+		}
+	}
+	return edges
+}
+
+// recFeasible reports that the dependence graph has no positive-weight
+// cycle under weights lat - II*dist (Bellman-Ford over longest paths:
+// any relaxation still possible after nb passes closes a positive
+// cycle).
+func recFeasible(nb int, edges []swpEdge, ii int) bool {
+	dist := make([]int64, nb)
+	for pass := 0; pass <= nb; pass++ {
+		changed := false
+		for _, e := range edges {
+			w := int64(e.lat) - int64(ii)*int64(e.dist)
+			if d := dist[e.from] + w; d > dist[e.to] {
+				dist[e.to] = d
+				changed = true
+			}
+		}
+		if !changed {
+			return true
+		}
+	}
+	return false
+}
+
+// modSchedule is iterative modulo scheduling (Rau) at a fixed II: place
+// instructions highest-height first into the modulo reservation table,
+// forcing placement (and evicting the conflicting or violated
+// instructions) when no slot in the II-wide window fits. The loop
+// counter is pinned to stage 0 — times[ctrl] < II — because the exit
+// branch reads its condition codes in every kernel tick; an eviction or
+// window miss on the counter fails the II instead.
+func modSchedule(nb int, edges []swpEdge, soa *BlockSoA, tab *spawn.CompiledTables, ii, ctrl int) ([]int, bool) {
+	// Height priority: longest II-discounted path out of each node.
+	// Feasible IIs have no positive cycles, so relaxation converges.
+	height := make([]int64, nb)
+	for pass := 0; pass < nb+1; pass++ {
+		changed := false
+		for _, e := range edges {
+			w := int64(e.lat) - int64(ii)*int64(e.dist)
+			if h := height[e.to] + w; h > height[e.from] {
+				height[e.from] = h
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	mrt := newMRT(ii, tab)
+	times := make([]int, nb)
+	prev := make([]int, nb)
+	placed := make([]bool, nb)
+	for i := range times {
+		times[i] = -1
+		prev[i] = -1
+	}
+
+	pick := func() int {
+		best := -1
+		for i := 0; i < nb; i++ {
+			if placed[i] {
+				continue
+			}
+			if i == ctrl {
+				return i
+			}
+			if best < 0 || height[i] > height[best] {
+				best = i
+			}
+		}
+		return best
+	}
+
+	budget := 16*nb + 64
+	for left := nb; left > 0; {
+		if budget--; budget < 0 {
+			return nil, false
+		}
+		i := pick()
+		est := 0
+		for _, e := range edges {
+			if int(e.to) != i || !placed[e.from] {
+				continue
+			}
+			if t := times[e.from] + int(e.lat) - ii*int(e.dist); t > est {
+				est = t
+			}
+		}
+		lo, hi := est, est+ii-1
+		if i == ctrl {
+			if est >= ii {
+				return nil, false
+			}
+			hi = ii - 1
+		}
+		t := -1
+		for c := lo; c <= hi; c++ {
+			if mrt.fits(soa.Groups[i].ID, c) {
+				t = c
+				break
+			}
+		}
+		forced := t < 0
+		if forced {
+			t = est
+			if p := prev[i] + 1; p > t {
+				t = p
+			}
+			if i == ctrl && t >= ii {
+				return nil, false
+			}
+		}
+
+		// Evict whoever the forced placement tramples: resource
+		// over-subscribers sharing a reservation row, and placed
+		// neighbors whose dependence constraint the new time violates.
+		if forced {
+			for j := 0; j < nb; j++ {
+				if !placed[j] || j == i {
+					continue
+				}
+				if mrt.overlaps(soa.Groups[i].ID, t, soa.Groups[j].ID, times[j]) {
+					if j == ctrl {
+						return nil, false
+					}
+					mrt.remove(soa.Groups[j].ID, times[j])
+					placed[j] = false
+					left++
+				}
+			}
+		}
+		for _, e := range edges {
+			var j, tj, ti int
+			switch {
+			case int(e.from) == i && placed[int(e.to)] && int(e.to) != i:
+				j = int(e.to)
+				ti, tj = t, times[j]
+				if tj-ti >= int(e.lat)-ii*int(e.dist) {
+					continue
+				}
+			case int(e.to) == i && placed[int(e.from)] && int(e.from) != i:
+				j = int(e.from)
+				ti, tj = times[j], t
+				if tj-ti >= int(e.lat)-ii*int(e.dist) {
+					continue
+				}
+			default:
+				continue
+			}
+			if j == ctrl {
+				return nil, false
+			}
+			mrt.remove(soa.Groups[j].ID, times[j])
+			placed[j] = false
+			left++
+		}
+
+		mrt.add(soa.Groups[i].ID, t)
+		times[i] = t
+		prev[i] = t
+		placed[i] = true
+		left--
+	}
+
+	// Belt and braces: every edge constraint must hold before emission.
+	for _, e := range edges {
+		if times[e.to]-times[e.from] < int(e.lat)-ii*int(e.dist) {
+			return nil, false
+		}
+	}
+	return times, true
+}
+
+// mrt is the modulo reservation table: per (cycle mod II, unit) usage
+// against the machine's unit capacities, using each timing group's full
+// held-unit footprint (the same NZ entries the exact search's resource
+// floor counts).
+type mrt struct {
+	ii     int
+	nu     int
+	use    []int32
+	counts []int32
+	tab    *spawn.CompiledTables
+}
+
+func newMRT(ii int, tab *spawn.CompiledTables) *mrt {
+	nu := len(tab.UnitCounts)
+	return &mrt{ii: ii, nu: nu, use: make([]int32, ii*nu), counts: tab.UnitCounts, tab: tab}
+}
+
+func (m *mrt) rowUnit(t int, cyc int, unit int) int {
+	r := (t + cyc) % m.ii
+	return r*m.nu + unit
+}
+
+func (m *mrt) fits(group int, t int) bool {
+	for _, e := range m.tab.Groups[group].NZ {
+		if m.use[m.rowUnit(t, e.Cycle, e.Unit)]+int32(e.Num) > m.counts[e.Unit] {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *mrt) add(group int, t int) {
+	for _, e := range m.tab.Groups[group].NZ {
+		m.use[m.rowUnit(t, e.Cycle, e.Unit)] += int32(e.Num)
+	}
+}
+
+func (m *mrt) remove(group int, t int) {
+	for _, e := range m.tab.Groups[group].NZ {
+		m.use[m.rowUnit(t, e.Cycle, e.Unit)] -= int32(e.Num)
+	}
+}
+
+// overlaps reports whether groups gi at time ti and gj at time tj share
+// a reservation row+unit where the row is over capacity after gi's
+// addition — the eviction test for forced placement.
+func (m *mrt) overlaps(gi, ti, gj, tj int) bool {
+	for _, ei := range m.tab.Groups[gi].NZ {
+		ri := (ti + ei.Cycle) % m.ii
+		for _, ej := range m.tab.Groups[gj].NZ {
+			if ei.Unit != ej.Unit {
+				continue
+			}
+			if (tj+ej.Cycle)%m.ii != ri {
+				continue
+			}
+			if m.use[ri*m.nu+ei.Unit]+int32(ei.Num) > m.counts[ei.Unit] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// emit lowers a modulo schedule into prologue, kernel and epilogue.
+//
+// Write the flat time of instruction i as t_i = s_i*II + phi_i (stage
+// s_i, phase phi_i), SC = max stage + 1. Global tick of instance
+// (i, iteration n) is n + s_i: prologue ticks 0..SC-2 run instances with
+// s_i <= p at iteration p - s_i; kernel tick k (1-based, K = trip-SC+1
+// of them) runs every instruction at iteration k-1 + (SC-1) - s_i;
+// epilogue tick q in 0..SC-2 runs instances with s_i >= q+1 at iteration
+// trip-s_i+q. Each tick is emitted sorted by (phi, body index), which
+// preserves every dependence: an edge i -> j at distance d relates
+// instances on ticks delta = d + s_j - s_i apart; the schedule
+// constraint t_j - t_i >= lat - II*d forces either delta > 0 (a later
+// tick), or delta == 0 with phi_j > phi_i (later in the tick), or — only
+// possible for dist-0, latency-0 edges — the same phase with i before j
+// in body order, which the index tiebreak keeps. Instances of one
+// instruction more than one iteration apart stay ordered because every
+// loop-carried edge bounds stage skew to <= 1.
+//
+// The kernel's branch goes after all its tick's instances; the phase-
+// last instance may legally fill the delay slot (it still executes last
+// in the tick), otherwise a nop does.
+func emit(body []sparc.Inst, times []int, ii, trip int, cti sparc.Inst) (*PipelinedLoop, error) {
+	nb := len(body)
+	sc := 0
+	for _, t := range times {
+		if s := t / ii; s >= sc {
+			sc = s + 1
+		}
+	}
+	if sc < 2 {
+		return nil, notPipelined("schedule overlaps no iterations (SC=1)")
+	}
+	if trip < sc {
+		return nil, notPipelined("trip %d shorter than %d stages", trip, sc)
+	}
+
+	order := make([]int, nb)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := times[order[a]]%ii, times[order[b]]%ii
+		if pa != pb {
+			return pa < pb
+		}
+		return order[a] < order[b]
+	})
+	stage := func(i int) int { return times[i] / ii }
+
+	pl := &PipelinedLoop{II: ii, Stages: sc, Trip: trip, KernelTicks: trip - sc + 1}
+	for p := 0; p < sc-1; p++ {
+		for _, i := range order {
+			if stage(i) <= p {
+				pl.Prologue = append(pl.Prologue, body[i])
+			}
+		}
+	}
+	kernel := make([]sparc.Inst, 0, nb+2)
+	for _, i := range order {
+		kernel = append(kernel, body[i])
+	}
+	last := kernel[len(kernel)-1]
+	if len(kernel) >= 2 && delaySlotLegal(cti, last) {
+		kernel = kernel[:len(kernel)-1]
+		kernel = append(kernel, cti, last)
+	} else {
+		kernel = append(kernel, cti, sparc.NewNop())
+	}
+	// Retarget the back edge at the kernel head. The displacement is
+	// intra-kernel, so it survives any later layout shift untouched.
+	kernel[len(kernel)-2].Disp = int32(-(len(kernel) - 2))
+	pl.Kernel = kernel
+	for q := 0; q < sc-1; q++ {
+		for _, i := range order {
+			if stage(i) >= q+1 {
+				pl.Epilogue = append(pl.Epilogue, body[i])
+			}
+		}
+	}
+	return pl, nil
+}

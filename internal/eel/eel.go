@@ -236,6 +236,27 @@ func (ed *Editor) Edit(tool Instrumenter, opts Options) (*exe.Exe, error) {
 	span = reg.StartSpan("eel.layout")
 	defer span.End()
 
+	if _, err := ed.assemble(out, blocks, nil); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// assemble is the editing back half: lay the blocks out in original block
+// order, retarget every CTI through the new block-leader positions,
+// encode the text, and remap the entry point and text symbols. It returns
+// the layout map from old block start index to new text index.
+//
+// Blocks whose index is set in replaced carry a self-contained rewrite —
+// a software-pipelined loop, say — whose CTIs target within the
+// replacement with displacements already final. Those blocks skip the
+// terminal-CTI validation and the retarget pass; everything around them
+// still shifts and retargets normally, which is how code growth works:
+// the replacement occupies its block's layout slot, external CTIs into
+// the block land on the replacement's first instruction, and the
+// replacement's last instruction falls through to the block that always
+// followed.
+func (ed *Editor) assemble(out *exe.Exe, blocks [][]sparc.Inst, replaced map[int]bool) (map[int]int, error) {
 	// Pass 1b: lay the blocks out, recording the new start index of every
 	// old block leader.
 	newStart := make(map[int]int, len(ed.graph.Blocks))
@@ -250,7 +271,7 @@ func (ed *Editor) Edit(tool Instrumenter, opts Options) (*exe.Exe, error) {
 	for i, b := range ed.graph.Blocks {
 		newStart[b.Start] = len(newInsts)
 		block := blocks[i]
-		if b.HasCTI {
+		if b.HasCTI && !replaced[i] {
 			// Locate the CTI in the (possibly reordered, possibly
 			// shrunken) block: it is the unique CTI instruction.
 			pos := -1
@@ -331,7 +352,7 @@ func (ed *Editor) Edit(tool Instrumenter, opts Options) (*exe.Exe, error) {
 	if err := out.Validate(); err != nil {
 		return nil, fmt.Errorf("eel: edited executable invalid: %w", err)
 	}
-	return out, nil
+	return newStart, nil
 }
 
 // schedulerFor returns the memoized scheduler for a configuration,

@@ -1,0 +1,382 @@
+package eel
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"eel/internal/core"
+	"eel/internal/exe"
+	"eel/internal/sim"
+	"eel/internal/sparc"
+	"eel/internal/spawn"
+)
+
+// fpLoopProgram is a pipelinable hot loop: two parallel load-multiply
+// chains joined by adds, a counted exit, nothing else touching the
+// condition codes.
+const fpLoopProgram = `
+	set 1024, %g1
+	set 12, %l7
+loop:
+	ldd [%g1], %f0
+	fmuld %f0, %f2, %f4
+	ldd [%g1 + 8], %f8
+	fmuld %f8, %f10, %f12
+	faddd %f4, %f12, %f16
+	faddd %f16, %f18, %f20
+	subcc %l7, 1, %l7
+	bne loop
+	nop
+	set 300, %g3
+	ta 0
+`
+
+func simPrice(t *testing.T, model *spawn.Model, machine spawn.Machine) func(*exe.Exe) (int64, error) {
+	t.Helper()
+	return func(x *exe.Exe) (int64, error) {
+		_, tm, res, err := sim.RunMeasured(x, model, sim.DefaultTiming(machine), 1<<24)
+		if err != nil {
+			return 0, err
+		}
+		if !res.Halted {
+			return 0, fmt.Errorf("simulation did not halt")
+		}
+		return tm.Cycles(), nil
+	}
+}
+
+// runRegs executes x to the halting trap and returns the full visible
+// register state (integer and floating point, %g0 excluded).
+func runRegs(t *testing.T, x *exe.Exe) [63]uint32 {
+	t.Helper()
+	in, err := sim.NewInterp(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := in.Run(1<<24, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted {
+		t.Fatal("did not halt")
+	}
+	var regs [63]uint32
+	for r := 1; r < 32; r++ {
+		regs[r-1] = in.Reg(sparc.Reg(r))
+	}
+	for n := 0; n < 32; n++ {
+		regs[31+n] = in.FReg(n)
+	}
+	return regs
+}
+
+func TestPipelineLoopsEndToEnd(t *testing.T) {
+	machine := spawn.UltraSPARC
+	model := spawn.MustLoad(machine)
+	x := buildExe(t, fpLoopProgram)
+	ed, err := Open(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ed.PipelineLoops(PipelineOptions{Machine: model, Price: simPrice(t, model, machine)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LoopsFound != 1 || res.Candidates != 1 {
+		t.Fatalf("loops=%d candidates=%d, want 1/1", res.LoopsFound, res.Candidates)
+	}
+	if res.Accepted != 1 {
+		t.Fatalf("accepted=%d, want 1 (reports: %+v)", res.Accepted, res.Loops)
+	}
+	if res.Cost >= res.BaseCost {
+		t.Fatalf("cost %d did not improve on base %d", res.Cost, res.BaseCost)
+	}
+	r := res.Loops[0]
+	if !r.Accepted || r.Trip != 12 || r.II < 1 || r.II < r.MII || r.Stages < 2 {
+		t.Errorf("report wrong: %+v", r)
+	}
+	// The replacement grew the text and sits where the loop block was.
+	if len(res.Exe.Text) <= len(x.Text) {
+		t.Errorf("text did not grow: %d <= %d", len(res.Exe.Text), len(x.Text))
+	}
+	if r.NewLen <= r.OldLen || r.NewStart != r.OldStart {
+		t.Errorf("replacement range wrong: new [%d,+%d) old [%d,+%d)", r.NewStart, r.NewLen, r.OldStart, r.OldLen)
+	}
+	// Same final architectural state as the original program.
+	if got, want := runRegs(t, res.Exe), runRegs(t, x); got != want {
+		t.Error("pipelined program computes different register state")
+	}
+}
+
+// When no rewrite wins, the pass hands back the input image untouched.
+func TestPipelineLoopsDeclinesUnprofitable(t *testing.T) {
+	machine := spawn.UltraSPARC
+	model := spawn.MustLoad(machine)
+	// Throughput-bound body: independent loads saturate the load unit.
+	x := buildExe(t, `
+	set 1024, %g1
+	set 8, %l7
+loop:
+	ldd [%g1], %f0
+	ldd [%g1 + 8], %f2
+	subcc %l7, 1, %l7
+	bne loop
+	nop
+	ta 0
+`)
+	ed, err := Open(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ed.PipelineLoops(PipelineOptions{Machine: model, Price: simPrice(t, model, machine)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted != 0 {
+		t.Fatalf("accepted=%d, want 0: %+v", res.Accepted, res.Loops)
+	}
+	if res.Exe != x || res.Cost != res.BaseCost {
+		t.Error("declined pass should return the input executable at base cost")
+	}
+	if res.Loops[0].Reason == "" {
+		t.Error("declined loop carries no reason")
+	}
+}
+
+// Candidate analysis must refuse loops whose trip count or entry
+// discipline it cannot prove.
+func TestPipelineLoopsCandidateAnalysis(t *testing.T) {
+	cases := []struct {
+		name, src, reason string
+	}{
+		{"register trip", `
+	mov %o0, %l7
+loop:
+	ldd [%g1], %f0
+	subcc %l7, 1, %l7
+	bne loop
+	nop
+	ta 0
+`, "trip count not provable from the preheader"},
+		{"call returns into header", `
+	set 8, %l7
+	call helper
+	nop
+loop:
+	ldd [%g1], %f0
+	subcc %l7, 1, %l7
+	bne loop
+	nop
+	ta 0
+helper:
+	retl
+	nop
+`, "a call returns into the loop header"},
+		{"no counter", `
+	set 8, %g2
+loop:
+	ldd [%g1], %f0
+	cmp %g2, 0
+	bne loop
+	nop
+	ta 0
+`, "no counted-loop counter idiom"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ed, err := Open(buildExe(t, tc.src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			loops, _ := ed.Graph().Loops()
+			if len(loops) != 1 {
+				t.Fatalf("loops = %d, want 1", len(loops))
+			}
+			if _, reason := ed.analyzeCandidate(loops[0]); reason != tc.reason {
+				t.Errorf("reason = %q, want %q", reason, tc.reason)
+			}
+		})
+	}
+}
+
+// The pass is deterministic: identical inputs produce identical bytes,
+// regardless of the scheduler worker count.
+func TestPipelineLoopsDeterministic(t *testing.T) {
+	machine := spawn.UltraSPARC
+	model := spawn.MustLoad(machine)
+	var images [3][]byte
+	for i, workers := range []int{1, 2, 4} {
+		x := buildExe(t, fpLoopProgram)
+		ed, err := Open(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ed.PipelineLoops(PipelineOptions{
+			Machine: model,
+			Sched:   core.Options{Workers: workers},
+			Price:   simPrice(t, model, machine),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		images[i] = res.Exe.Marshal()
+	}
+	if !bytes.Equal(images[0], images[1]) || !bytes.Equal(images[0], images[2]) {
+		t.Error("pipelined output differs across worker counts")
+	}
+}
+
+// fuzzLoopSrc builds a counted-loop program from fuzz bytes: the first
+// byte picks the trip count, the rest select body instructions from a
+// menu of loads, stores and FP arithmetic over disjoint scratch
+// registers (never %l7, never the condition codes).
+func fuzzLoopSrc(data []byte) (string, bool) {
+	if len(data) < 2 || len(data) > 14 {
+		return "", false
+	}
+	trip := 4 + int(data[0])%12
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "\tset 1024, %%g1\n\tset %d, %%l7\nloop:\n", trip)
+	for _, d := range data[1:] {
+		off := 8 * (int(d>>4) % 8)
+		fr := 2 * (int(d>>2) % 11) // %f0..%f20
+		switch d % 5 {
+		case 0:
+			fmt.Fprintf(&b, "\tldd [%%g1 + %d], %%f%d\n", off, fr)
+		case 1:
+			fmt.Fprintf(&b, "\tfmuld %%f%d, %%f%d, %%f%d\n", fr, 2*(int(d>>5)%11), 2*(int(d)%11))
+		case 2:
+			fmt.Fprintf(&b, "\tfaddd %%f%d, %%f%d, %%f%d\n", fr, 2*(int(d>>5)%11), 2*(int(d)%11))
+		case 3:
+			fmt.Fprintf(&b, "\tstd %%f%d, [%%g1 + %d]\n", fr, off)
+		case 4:
+			fmt.Fprintf(&b, "\tadd %%g2, %d, %%g3\n", int(d)%32)
+		}
+	}
+	b.WriteString("\tsubcc %l7, 1, %l7\n\tbne loop\n\tnop\n\tta 0\n")
+	return b.String(), true
+}
+
+// FuzzLoopPipeline is the differential check for the whole pipelining
+// stack: every generated counted loop must either be declined or be
+// rewritten into a program that (a) respects all dependences in its
+// unrolled steady state, (b) computes the same architectural state, and
+// (c) never costs more simulated cycles than the input.
+func FuzzLoopPipeline(f *testing.F) {
+	// Parallel chains (pipelines), a serial chain through a store
+	// (declines on recurrence), pure loads (declines on throughput).
+	f.Add([]byte{7, 0x00, 0x11, 0x40, 0x51, 0x82, 0xc2})
+	f.Add([]byte{3, 0x00, 0x11, 0x13})
+	f.Add([]byte{9, 0x00, 0x40, 0x80, 0xc0})
+	f.Add([]byte{5, 0x04, 0x29})
+
+	machine := spawn.UltraSPARC
+	model := spawn.MustLoad(machine)
+	sched := core.New(model, core.Options{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		src, ok := fuzzLoopSrc(data)
+		if !ok {
+			t.Skip()
+		}
+		insts, err := sparc.Assemble(src)
+		if err != nil {
+			t.Fatalf("generated program does not assemble: %v\n%s", err, src)
+		}
+		x := exe.New()
+		for _, inst := range insts {
+			x.Text = append(x.Text, sparc.MustEncode(inst))
+		}
+		ed, err := Open(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Dependence preservation of the unrolled steady state, checked
+		// directly on the modulo scheduler's output.
+		loops, _ := ed.Graph().Loops()
+		for _, l := range loops {
+			trip, reason := ed.analyzeCandidate(l)
+			if reason != "" {
+				continue
+			}
+			pl, err := sched.PipelineLoop(l.Header.Insts, trip, core.SWPOptions{})
+			if errors.Is(err, core.ErrNotPipelined) {
+				continue
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			orig := unrollOriginal(l.Header.Insts, pl.Trip)
+			if err := sched.VerifyDependences(orig, unrollPipelined(pl)); err != nil {
+				t.Fatalf("steady state violates dependences: %v\n%s", err, src)
+			}
+		}
+
+		// Whole-program: never worse, and functionally identical.
+		res, err := ed.PipelineLoops(PipelineOptions{
+			Machine: model,
+			Price: func(y *exe.Exe) (int64, error) {
+				_, tm, r, err := sim.RunMeasured(y, model, sim.DefaultTiming(machine), 1<<24)
+				if err != nil {
+					return 0, err
+				}
+				if !r.Halted {
+					return 0, fmt.Errorf("no halt")
+				}
+				return tm.Cycles(), nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cost > res.BaseCost {
+			t.Fatalf("pipelining regressed: %d > %d cycles\n%s", res.Cost, res.BaseCost, src)
+		}
+		if got, want := runRegs(t, res.Exe), runRegs(t, x); got != want {
+			t.Fatalf("pipelined program computes different state\n%s", src)
+		}
+	})
+}
+
+// unrollOriginal is trip copies of a loop block's execution-order body,
+// nops dropped.
+func unrollOriginal(block []sparc.Inst, trip int) []sparc.Inst {
+	n := len(block)
+	body := append([]sparc.Inst(nil), block[:n-2]...)
+	if !block[n-1].IsNop() {
+		body = append(body, block[n-1])
+	}
+	var out []sparc.Inst
+	for k := 0; k < trip; k++ {
+		for _, inst := range body {
+			if !inst.IsNop() {
+				out = append(out, inst)
+			}
+		}
+	}
+	return out
+}
+
+// unrollPipelined flattens prologue + kernel ticks + epilogue into
+// execution order, nops and CTIs dropped.
+func unrollPipelined(pl *core.PipelinedLoop) []sparc.Inst {
+	var out []sparc.Inst
+	push := func(insts ...sparc.Inst) {
+		for _, inst := range insts {
+			if !inst.IsNop() && !inst.IsCTI() {
+				out = append(out, inst)
+			}
+		}
+	}
+	push(pl.Prologue...)
+	nk := len(pl.Kernel)
+	for k := 0; k < pl.KernelTicks; k++ {
+		push(pl.Kernel[:nk-2]...)
+		push(pl.Kernel[nk-1])
+	}
+	push(pl.Epilogue...)
+	return out
+}

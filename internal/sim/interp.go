@@ -175,6 +175,9 @@ func (in *Interp) Mem() *Memory { return in.mem }
 // Reg returns the value of an integer register.
 func (in *Interp) Reg(r sparc.Reg) uint32 { return in.reg[r] }
 
+// FReg returns the raw 32-bit contents of floating-point register %f<n>.
+func (in *Interp) FReg(n int) uint32 { return in.freg[n] }
+
 // Steps returns the number of instructions executed so far.
 func (in *Interp) Steps() uint64 { return in.steps }
 

@@ -1,0 +1,73 @@
+package sim
+
+import "eel/internal/sparc"
+
+// RangeMeter attributes simulated cycles to half-open text-index ranges
+// on top of a Timing observer: pass its Observe to Interp.Run instead of
+// the Timing's. Each dynamic instruction's cycle delta — including every
+// stall it absorbed — is charged to the range containing it, and a visit
+// is counted each time control enters a range from outside. For a loop
+// (the back edge stays inside the range) visits therefore count loop
+// entries, not iterations: cycles per iteration is
+// Cycles(r) / (Visits(r) * trip).
+//
+// Ranges must not overlap; instructions outside every range are
+// unattributed. A RangeMeter is single-run state — build a fresh one per
+// measured simulation.
+type RangeMeter struct {
+	tm         *Timing
+	start, end []int32
+	cycles     []int64
+	visits     []int64
+	last       int64
+	cur        int // range of the previous instruction, -1 outside
+}
+
+// NewRangeMeter wraps a timing observer with cycle attribution over
+// ranges, each a half-open [start, end) pair of text indices.
+func NewRangeMeter(tm *Timing, ranges [][2]int) *RangeMeter {
+	m := &RangeMeter{
+		tm:     tm,
+		start:  make([]int32, len(ranges)),
+		end:    make([]int32, len(ranges)),
+		cycles: make([]int64, len(ranges)),
+		visits: make([]int64, len(ranges)),
+		cur:    -1,
+	}
+	for i, r := range ranges {
+		m.start[i], m.end[i] = int32(r[0]), int32(r[1])
+	}
+	return m
+}
+
+// Observe consumes one executed instruction. It matches sim.Observer.
+func (m *RangeMeter) Observe(idx int, inst *sparc.Inst) {
+	m.tm.Observe(idx, inst)
+	now := m.tm.Cycles()
+	d := now - m.last
+	m.last = now
+
+	r := -1
+	for i := range m.start {
+		if int32(idx) >= m.start[i] && int32(idx) < m.end[i] {
+			r = i
+			break
+		}
+	}
+	if r >= 0 {
+		m.cycles[r] += d
+		if r != m.cur {
+			m.visits[r]++
+		}
+	}
+	m.cur = r
+}
+
+// Cycles returns the cycles attributed to range r.
+func (m *RangeMeter) Cycles(r int) int64 { return m.cycles[r] }
+
+// Visits returns how many times control entered range r from outside.
+func (m *RangeMeter) Visits(r int) int64 { return m.visits[r] }
+
+// Timing returns the wrapped observer (for whole-program totals).
+func (m *RangeMeter) Timing() *Timing { return m.tm }

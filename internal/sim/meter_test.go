@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"testing"
+
+	"eel/internal/exe"
+	"eel/internal/sparc"
+	"eel/internal/spawn"
+)
+
+// meterExe assembles a program with a 10-iteration counted loop at text
+// indices [2, 7) and a straight-line tail.
+func meterExe(t *testing.T) *exe.Exe {
+	t.Helper()
+	insts, err := sparc.Assemble(`
+	set 1024, %g1
+	set 10, %l7
+loop:
+	ldd [%g1], %f0
+	faddd %f0, %f2, %f4
+	subcc %l7, 1, %l7
+	bne loop
+	nop
+	add %g2, 1, %g2
+	ta 0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := exe.New()
+	for _, inst := range insts {
+		x.Text = append(x.Text, sparc.MustEncode(inst))
+	}
+	return x
+}
+
+func TestRangeMeterAttributesLoopCycles(t *testing.T) {
+	machine := spawn.UltraSPARC
+	model := spawn.MustLoad(machine)
+	x := meterExe(t)
+
+	in, err := NewInterp(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := NewProgramTiming(model, DefaultTiming(machine), x.TextBase, len(x.Text))
+	m := NewRangeMeter(tm, [][2]int{{2, 7}, {7, 8}})
+	res, err := in.Run(1<<20, m.Observe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted {
+		t.Fatal("did not halt")
+	}
+
+	// One entry into the loop, one into the tail; the back edge stays
+	// inside the range so iterations do not count as visits.
+	if m.Visits(0) != 1 || m.Visits(1) != 1 {
+		t.Errorf("visits = %d/%d, want 1/1", m.Visits(0), m.Visits(1))
+	}
+	// The loop executes 5 instructions x 10 iterations; it must dominate
+	// the program's cycles, and no range can exceed the total.
+	total := m.Timing().Cycles()
+	if m.Cycles(0) <= 0 || m.Cycles(0) >= total {
+		t.Errorf("loop cycles = %d, total %d", m.Cycles(0), total)
+	}
+	if m.Cycles(0)+m.Cycles(1) > total {
+		t.Errorf("attributed %d+%d > total %d", m.Cycles(0), m.Cycles(1), total)
+	}
+	if m.Cycles(0) < 10 {
+		t.Errorf("loop cycles = %d, want >= 10 (one per iteration at least)", m.Cycles(0))
+	}
+	// Metering must not change the measurement itself.
+	_, tm2, _, err := RunMeasured(meterExe(t), model, DefaultTiming(machine), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm2.Cycles() != total {
+		t.Errorf("metered run measured %d cycles, plain run %d", total, tm2.Cycles())
+	}
+}
