@@ -17,9 +17,18 @@
 //	                    machine=... -> edited EELX image
 //	GET  /healthz       {"status":"ok"}, 503 while draining
 //	GET  /metrics       Prometheus text (?format=json for the JSON export)
+//	GET  /debug/flight  flight-recorder dump: one trace per JSONL line
+//	                    (schemas/trace.schema.json); 404 unless -flight
 //
 // Errors are structured JSON ({"error": ...}) with matching status
 // codes; every response is counted in eeld.requests_total{route,code}.
+//
+// Observability (-flight N retains the last N request traces plus up to
+// 4N anomalous ones; -log path writes every trace as a JSON access-log
+// line; either flag turns request tracing on):
+//
+//	eeld -flight 256 -flight-slow 250ms    # flight recorder, slow bar
+//	eeld -log /var/log/eeld-access.jsonl   # structured access log
 //
 // On SIGTERM or SIGINT the daemon drains: health checks fail, new work
 // is rejected, in-flight requests finish (bounded by -drain-timeout),
@@ -66,6 +75,9 @@ func run() error {
 		spillMax     = flag.Int("spill-max", 0, "spill file size bound in bytes (0 = unbounded)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
 		testHooks    = flag.Bool("testhooks", false, "enable test-only request hooks (delay_ms); never in production")
+		flightN      = flag.Int("flight", 0, "flight recorder: retain the last N request traces (+4N anomalous); 0 = tracing off")
+		flightSlow   = flag.Duration("flight-slow", 0, "latency past which a request is recorded as a slow anomaly (0 = never)")
+		logPath      = flag.String("log", "", "structured JSON access log: one trace line per request")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -77,6 +89,14 @@ func run() error {
 	reg.StampRunManifest()
 	reg.SetManifest("tool", "eeld")
 	reg.SetManifest("workers", strconv.Itoa(*workers))
+
+	var access *obs.JSONL
+	if *logPath != "" {
+		var err error
+		if access, err = obs.CreateJSONL(*logPath); err != nil {
+			return fmt.Errorf("access log: %w", err)
+		}
+	}
 
 	s := daemon.New(daemon.Config{
 		CacheCapacity:  *cacheCap,
@@ -92,6 +112,9 @@ func run() error {
 		Fingerprint:    obs.GitRev(),
 		Registry:       reg,
 		AllowTestDelay: *testHooks,
+		Flight:         obs.NewFlight(*flightN),
+		AccessLog:      access,
+		SlowRequest:    *flightSlow,
 	})
 
 	hs := &http.Server{Addr: *addr, Handler: s}
@@ -123,6 +146,14 @@ func run() error {
 	}
 	if *spillPath != "" {
 		fmt.Fprintf(os.Stderr, "eeld: spilled %d cache entries to %s\n", n, *spillPath)
+	}
+	// Close the access log only after Drain: every in-flight request has
+	// finished and written its line, so the file ends on a whole line.
+	if access != nil {
+		if err := access.Close(); err != nil {
+			return fmt.Errorf("access log: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "eeld: access log closed at %s\n", *logPath)
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err

@@ -12,6 +12,9 @@
 //	    response for offline byte-diffing against eelprof
 //	eelload ... | benchdiff -update -series eeld-load
 //	    record the run
+//	eelload -traces ... | benchdiff -update -series eeld-trace
+//	    also pull GET /debug/flight afterwards and report per-span
+//	    latency attribution (daemon must run with -flight N)
 //
 // The request stream is seeded (-seed): two runs with the same flags
 // replay byte-identical requests, which keeps CI latency comparisons
@@ -30,6 +33,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -43,6 +47,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"eel/internal/obs"
 	"eel/internal/sparc"
 	"eel/internal/spawn"
 	"eel/internal/workload"
@@ -80,6 +85,7 @@ func run() error {
 		saveOutput  = flag.String("save-output", "", "edit mode: write the first response body here")
 		minHitRate  = flag.Float64("min-hit-rate", -1, "fail unless the daemon's cache hit rate is at least this percent")
 		benchName   = flag.String("bench-name", "EeldLoad", "benchmark family name on output lines")
+		traces      = flag.Bool("traces", false, "after the run, pull /debug/flight and report per-span latency attribution (daemon must run with -flight)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -206,9 +212,86 @@ func run() error {
 	if err := reportCache(client, *addr, *minHitRate); err != nil {
 		return err
 	}
+	if *traces {
+		if err := reportTraces(client, *addr, *benchName, *mode); err != nil {
+			return err
+		}
+	}
 	if failures > 0 {
 		return fmt.Errorf("%d request(s) failed (first: %v)", failures, firstErr)
 	}
+	return nil
+}
+
+// reportTraces pulls the daemon's flight recorder and prints a latency
+// attribution table: for every top-level span name across successful
+// request traces, how many requests it appears in, its mean duration,
+// and its share of summed request wall time. Per-span means also go out
+// as bench lines so `benchdiff -update -series eeld-trace` can record
+// attribution over time and gate on a phase quietly absorbing the
+// latency budget.
+func reportTraces(client *http.Client, addr, benchName, mode string) error {
+	resp, err := client.Get(addr + "/debug/flight")
+	if err != nil {
+		return fmt.Errorf("fetching flight recorder: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/debug/flight: status %d (start eeld with -flight N)", resp.StatusCode)
+	}
+	type agg struct {
+		count int64
+		ns    int64
+	}
+	spans := map[string]*agg{}
+	var names []string
+	var nTraces, wallNs int64
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	for sc.Scan() {
+		var tr obs.TraceExport
+		if err := json.Unmarshal(sc.Bytes(), &tr); err != nil {
+			return fmt.Errorf("parsing flight line: %w", err)
+		}
+		if tr.Kind != "request" || tr.Code != http.StatusOK {
+			continue
+		}
+		nTraces++
+		wallNs += tr.WallNs
+		for _, sp := range tr.Spans {
+			if sp.Parent != -1 {
+				continue
+			}
+			a := spans[sp.Name]
+			if a == nil {
+				a = &agg{}
+				spans[sp.Name] = a
+				names = append(names, sp.Name)
+			}
+			a.count++
+			a.ns += sp.DurNs
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if nTraces == 0 {
+		return fmt.Errorf("flight recorder holds no successful request traces")
+	}
+	sort.Slice(names, func(i, j int) bool { return spans[names[i]].ns > spans[names[j]].ns })
+	fmt.Fprintf(os.Stderr, "eelload: latency attribution over %d retained traces (%.2fms wall total):\n",
+		nTraces, float64(wallNs)/1e6)
+	var attributed int64
+	for _, name := range names {
+		a := spans[name]
+		attributed += a.ns
+		fmt.Fprintf(os.Stderr, "  %-16s %5d spans  mean %8.3fms  %5.1f%% of wall\n",
+			name, a.count, float64(a.ns)/float64(a.count)/1e6, 100*float64(a.ns)/float64(wallNs))
+		fmt.Printf("Benchmark%s/mode=%s/trace/span=%s/mean %d %d ns/op\n",
+			benchName, mode, name, a.count, a.ns/a.count)
+	}
+	fmt.Fprintf(os.Stderr, "  %-16s %.1f%% of wall attributed to top-level spans\n",
+		"(total)", 100*float64(attributed)/float64(wallNs))
 	return nil
 }
 

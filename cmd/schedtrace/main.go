@@ -6,6 +6,13 @@
 //	schedtrace -block 17 traces/sched.jsonl       # dump block 17's decisions
 //	schedtrace -diff a/sched.jsonl b/sched.jsonl  # first diverging decision
 //	schedtrace -replay traces/sched.jsonl         # golden-diff re-schedule
+//	schedtrace -traceid 9f1c... traces/sched.jsonl # one daemon request's blocks
+//
+// -traceid keeps only blocks stamped with the given daemon request
+// trace ID (eeld stamps every decision trace with the request trace it
+// was scheduled under — see GET /debug/flight), narrowing a shared
+// trace file to the blocks of one request. Composes with -block and
+// -replay.
 //
 // -diff compares two traces of the same input decision by decision —
 // ready set, chosen instruction, stall count, issue cycle — and exits
@@ -49,6 +56,7 @@ func run() error {
 		replay     = flag.Bool("replay", false, "re-schedule each block's input and diff against the recorded output")
 		engineName = flag.String("engine", "", "override the traced engine for -replay")
 		oracleName = flag.String("oracle", "", "override the traced oracle for -replay")
+		traceID    = flag.String("traceid", "", "keep only blocks scheduled under this daemon request trace ID")
 	)
 	flag.Parse()
 
@@ -73,6 +81,18 @@ func run() error {
 	traces, err := readTraces(flag.Arg(0))
 	if err != nil {
 		return err
+	}
+	if *traceID != "" {
+		kept := traces[:0]
+		for i := range traces {
+			if traces[i].TraceID == *traceID {
+				kept = append(kept, traces[i])
+			}
+		}
+		if len(kept) == 0 {
+			return fmt.Errorf("no blocks carry trace ID %s (was the daemon run with -flight or -log?)", *traceID)
+		}
+		traces = kept
 	}
 	switch {
 	case *replay:

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"eel/internal/obs"
 	"eel/internal/sparc"
 )
 
@@ -20,6 +22,22 @@ import (
 // fall back to the sequential path. On error, the failure from the
 // lowest-indexed failing block is reported.
 func (s *Scheduler) ScheduleBlocks(blocks [][]sparc.Inst) ([][]sparc.Inst, error) {
+	return s.scheduleBlocksTraced(nil, -1, blocks)
+}
+
+// ScheduleBlocksCtx is ScheduleBlocks with an optional request trace
+// carried in ctx (obs.WithTrace / obs.WithTraceParent): the batch's
+// per-phase time — dependence-graph build, ready-list issue, CTI
+// handling, cache lookups — is accumulated per worker and recorded as
+// child spans under the context's parent span, and decision traces
+// (Options.Trace) are stamped with the trace's ID. With no trace in ctx
+// it is exactly ScheduleBlocks.
+func (s *Scheduler) ScheduleBlocksCtx(ctx context.Context, blocks [][]sparc.Inst) ([][]sparc.Inst, error) {
+	tr, parent := obs.TraceParentFrom(ctx)
+	return s.scheduleBlocksTraced(tr, parent, blocks)
+}
+
+func (s *Scheduler) scheduleBlocksTraced(tr *obs.Trace, parent int32, blocks [][]sparc.Inst) ([][]sparc.Inst, error) {
 	if s.opts.NoReorder {
 		return blocks, nil
 	}
@@ -27,6 +45,14 @@ func (s *Scheduler) ScheduleBlocks(blocks [][]sparc.Inst) ([][]sparc.Inst, error
 	workers := s.opts.workers()
 	if workers > len(blocks) {
 		workers = len(blocks)
+	}
+	var (
+		agg     *phaseTimes
+		startNs int64
+	)
+	if tr != nil {
+		agg = &phaseTimes{}
+		startNs = tr.SinceStart()
 	}
 	if s.factory == nil || workers <= 1 {
 		s.tel.recordBatch(1, len(blocks))
@@ -38,6 +64,13 @@ func (s *Scheduler) ScheduleBlocks(blocks [][]sparc.Inst) ([][]sparc.Inst, error
 			// runs sequentially.
 			w = s.pool.Get().(*worker)
 			defer s.pool.Put(w)
+		}
+		if agg != nil {
+			w.tt, w.traceID = agg, tr.ID()
+			defer func() {
+				w.tt, w.traceID = nil, ""
+				emitPhaseSpans(tr, parent, startNs, agg, 1)
+			}()
 		}
 		defer s.tel.flush(w)
 		for i, b := range blocks {
@@ -62,6 +95,15 @@ func (s *Scheduler) ScheduleBlocks(blocks [][]sparc.Inst) ([][]sparc.Inst, error
 	runWorker := func() {
 		w := s.pool.Get().(*worker)
 		defer s.pool.Put(w)
+		if agg != nil {
+			w.tt, w.traceID = &phaseTimes{}, tr.ID()
+			defer func() {
+				mu.Lock()
+				agg.merge(w.tt)
+				mu.Unlock()
+				w.tt, w.traceID = nil, ""
+			}()
+		}
 		defer s.tel.flush(w)
 		for {
 			i := int(next.Add(1)) - 1
@@ -100,6 +142,9 @@ func (s *Scheduler) ScheduleBlocks(blocks [][]sparc.Inst) ([][]sparc.Inst, error
 	}
 	runWorker()
 	wg.Wait()
+	if agg != nil {
+		emitPhaseSpans(tr, parent, startNs, agg, workers)
+	}
 	if firstErr != nil {
 		return nil, fmt.Errorf("core: block %d: %w", firstIdx, firstErr)
 	}

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"eel/internal/obs"
 	"eel/internal/pipe"
@@ -276,6 +277,13 @@ type worker struct {
 	// exhausted or oversized); such results stay out of the schedule
 	// cache so every cached optimal-engine entry is a certified optimum.
 	optUnproven bool
+	// tt accumulates per-phase wall time for the current batch when it
+	// carries a request trace (ScheduleBlocksCtx); nil otherwise, so the
+	// untraced hot path pays one pointer test per phase (tracephase.go).
+	tt *phaseTimes
+	// traceID is the daemon trace that carried the current batch,
+	// stamped into decision traces (BlockTrace.TraceID); "" untraced.
+	traceID string
 }
 
 // New returns a scheduler driven by the machine's SADL pipeline model —
@@ -406,7 +414,19 @@ func (s *Scheduler) scheduleBlockOn(w *worker, idx int, block []sparc.Inst) ([]s
 	w.telInline = false
 	w.telUseBefore = false
 	if c := s.opts.Cache; c != nil && s.cacheID != 0 && !tracing {
-		if out, ok := c.getInto(s.cacheID, block, &w.sc.arena); ok {
+		var lookupT0 time.Time
+		if w.tt != nil {
+			lookupT0 = time.Now()
+		}
+		out, ok := c.getInto(s.cacheID, block, &w.sc.arena)
+		if w.tt != nil {
+			w.tt.cacheNs += time.Since(lookupT0).Nanoseconds()
+			w.tt.lookups++
+			if ok {
+				w.tt.hits++
+			}
+		}
+		if ok {
 			// Unproven optimal-engine results never enter the cache, so a
 			// hit is a certified optimum and counts as proven.
 			s.opt.hitProven(len(block))
@@ -468,6 +488,17 @@ func (s *Scheduler) scheduleBlockRaw(w *worker, block []sparc.Inst) ([]sparc.Ins
 		sc.bodyBuf = body
 	} else if n >= 1 && block[n-1].IsCTI() {
 		return nil, -1, fmt.Errorf("core: block ends with a CTI but no delay slot")
+	}
+	if hasCTI && w.tt != nil {
+		// The CTI phase is everything this pass does beyond straight-line
+		// scheduling: delay-slot refill, CTI re-pricing, beforeIdx bookkeeping.
+		// scheduleStraightLine subtracts its own share below, so measure the
+		// whole pass and deduct the phases it attributes itself.
+		ctiT0 := time.Now()
+		dep0, rdy0 := w.tt.depgraphNs, w.tt.readyNs
+		defer func() {
+			w.tt.ctiNs += time.Since(ctiT0).Nanoseconds() - (w.tt.depgraphNs - dep0) - (w.tt.readyNs - rdy0)
+		}()
 	}
 
 	// Inline telemetry capture (telemetry.go): with a monotone oracle the
@@ -801,6 +832,10 @@ func (s *Scheduler) scheduleStraightLine(w *worker, body []sparc.Inst) ([]sparc.
 		// seeds the exact search's incumbent and fills the scratch arenas
 		// (dependence graph, prepared probes) the search reuses.
 		sc := &w.sc
+		var phaseT0 time.Time
+		if w.tt != nil {
+			phaseT0 = time.Now()
+		}
 		pp, usePrep := w.p.(preparedPipeline)
 		if usePrep {
 			// Resolve every instruction's placement inputs once; the
@@ -828,6 +863,13 @@ func (s *Scheduler) scheduleStraightLine(w *worker, body []sparc.Inst) ([]sparc.
 			return nil, -1, err
 		}
 		sc.prepOK = usePrep
+		if w.tt != nil {
+			now := time.Now()
+			w.tt.depgraphNs += now.Sub(phaseT0).Nanoseconds()
+			out, cost, err := s.runFastList(sc, w.p, pp)
+			w.tt.readyNs += time.Since(now).Nanoseconds()
+			return out, cost, err
+		}
 		return s.runFastList(sc, w.p, pp)
 	}
 	out, err := s.referenceStraightLine(w, body)
@@ -848,6 +890,10 @@ type preparedPipeline interface {
 // the ground truth the fast engine is differentially tested against.
 func (s *Scheduler) referenceStraightLine(w *worker, body []sparc.Inst) ([]sparc.Inst, error) {
 	p := w.p
+	var phaseT0 time.Time
+	if w.tt != nil {
+		phaseT0 = time.Now()
+	}
 	nodes, err := s.buildDAG(body)
 	if err != nil {
 		return nil, err
@@ -862,6 +908,12 @@ func (s *Scheduler) referenceStraightLine(w *worker, body []sparc.Inst) ([]sparc
 				n.chain = c
 			}
 		}
+	}
+	if w.tt != nil {
+		now := time.Now()
+		w.tt.depgraphNs += now.Sub(phaseT0).Nanoseconds()
+		phaseT0 = now
+		defer func() { w.tt.readyNs += time.Since(phaseT0).Nanoseconds() }()
 	}
 
 	// Pass 2: forward list scheduling.

@@ -55,6 +55,10 @@ type BlockTrace struct {
 	// the greedy schedule away; Steps still records how it was built.
 	KeptOriginal bool        `json:"kept_original,omitempty"`
 	Steps        []TraceStep `json:"steps"`
+	// TraceID is the daemon request/batch trace that carried this block
+	// (obs.Trace, via ScheduleBlocksCtx), joining per-block decision
+	// traces to per-request latency traces; "" outside the daemon.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // TraceSink receives one BlockTrace per scheduled block. Sinks must be
@@ -102,6 +106,7 @@ func (s *Scheduler) emitTrace(w *worker, idx int, block, out []sparc.Inst) {
 		Output:       append([]sparc.Inst(nil), out...),
 		KeptOriginal: w.keptOriginal,
 		Steps:        append([]TraceStep(nil), w.sc.steps...),
+		TraceID:      w.traceID,
 	}
 	bt.Asm = make([]string, len(out))
 	for i, in := range out {

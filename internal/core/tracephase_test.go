@@ -1,0 +1,234 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"eel/internal/obs"
+	"eel/internal/spawn"
+)
+
+// TestScheduleBlocksCtxSpans: a traced batch must leave per-phase child
+// spans under the context's parent span and must not change the
+// schedule, for both the sequential and the parallel path.
+func TestScheduleBlocksCtxSpans(t *testing.T) {
+	model := spawn.MustLoad(spawn.UltraSPARC)
+	blocks := randomBlocks(rand.New(rand.NewSource(11)), 60)
+	for _, workers := range []int{1, 4} {
+		s := New(model, Options{Workers: workers})
+		want, err := s.ScheduleBlocks(blocks)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		tr := obs.NewTrace("request")
+		parent := tr.StartSpan("batch.schedule")
+		ctx := obs.WithTraceParent(context.Background(), tr, parent.Idx())
+		got, err := s.ScheduleBlocksCtx(ctx, blocks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parent.End()
+		tr.Finish()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: traced schedule differs from untraced", workers)
+		}
+		e := tr.Export()
+		byName := map[string]obs.TraceSpan{}
+		for _, sp := range e.Spans {
+			byName[sp.Name] = sp
+		}
+		for _, name := range []string{"sched.depgraph", "sched.ready"} {
+			sp, ok := byName[name]
+			if !ok {
+				t.Fatalf("workers=%d: span %s missing (have %v)", workers, name, e.Spans)
+			}
+			if sp.Parent != parent.Idx() {
+				t.Fatalf("workers=%d: span %s parent = %d, want %d", workers, name, sp.Parent, parent.Idx())
+			}
+			if sp.DurNs <= 0 {
+				t.Fatalf("workers=%d: span %s has no duration", workers, name)
+			}
+		}
+		// randomBlocks emits CTI-terminated blocks too, so the CTI phase
+		// must have been attributed.
+		if _, ok := byName["sched.cti"]; !ok {
+			t.Fatalf("workers=%d: sched.cti span missing", workers)
+		}
+	}
+}
+
+// TestScheduleBlocksCtxCacheSpan: cache lookups are attributed with a
+// hit ratio note, and a second (all-hit) pass reports full hits.
+func TestScheduleBlocksCtxCacheSpan(t *testing.T) {
+	model := spawn.MustLoad(spawn.UltraSPARC)
+	blocks := randomBlocks(rand.New(rand.NewSource(12)), 20)
+	s := New(model, Options{Workers: 1, Cache: NewCache(64)})
+	run := func() obs.TraceSpan {
+		tr := obs.NewTrace("request")
+		if _, err := s.ScheduleBlocksCtx(obs.WithTrace(context.Background(), tr), blocks); err != nil {
+			t.Fatal(err)
+		}
+		tr.Finish()
+		for _, sp := range tr.Export().Spans {
+			if sp.Name == "cache.lookup" {
+				return sp
+			}
+		}
+		t.Fatal("cache.lookup span missing")
+		return obs.TraceSpan{}
+	}
+	cold := run()
+	warm := run()
+	find := func(sp obs.TraceSpan, key string) string {
+		for _, n := range sp.Notes {
+			if len(n) > len(key) && n[:len(key)+1] == key+"=" {
+				return n[len(key)+1:]
+			}
+		}
+		t.Fatalf("span %v missing note %s", sp, key)
+		return ""
+	}
+	if got := find(cold, "hits"); got != "0/20" {
+		t.Fatalf("cold hits note = %s, want 0/20", got)
+	}
+	if got := find(warm, "hits"); got != "20/20" {
+		t.Fatalf("warm hits note = %s, want 20/20", got)
+	}
+}
+
+// TestDecisionTraceCarriesTraceID: with both a decision-trace sink and a
+// request trace attached, every BlockTrace is stamped with the request
+// trace's ID — the join key cmd/schedtrace -traceid filters on — and
+// untraced batches leave it empty.
+func TestDecisionTraceCarriesTraceID(t *testing.T) {
+	model := spawn.MustLoad(spawn.UltraSPARC)
+	blocks := randomBlocks(rand.New(rand.NewSource(13)), 10)
+	sink := &memTraceSink{}
+	s := New(model, Options{Workers: 2, Trace: sink})
+	tr := obs.NewTrace("batch")
+	if _, err := s.ScheduleBlocksCtx(obs.WithTrace(context.Background(), tr), blocks); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.traces) != len(blocks) {
+		t.Fatalf("traced %d blocks, want %d", len(sink.traces), len(blocks))
+	}
+	for _, bt := range sink.traces {
+		if bt.TraceID != tr.ID() {
+			t.Fatalf("block %d trace ID = %q, want %q", bt.Block, bt.TraceID, tr.ID())
+		}
+	}
+	sink.traces = nil
+	if _, err := s.ScheduleBlocks(blocks); err != nil {
+		t.Fatal(err)
+	}
+	for _, bt := range sink.traces {
+		if bt.TraceID != "" {
+			t.Fatalf("untraced block %d carries trace ID %q", bt.Block, bt.TraceID)
+		}
+	}
+}
+
+// TestTraceDisabledOverheadGuard is the committed overhead guard for the
+// tracing-disabled path (ISSUE 10 acceptance), same methodology as the
+// telemetry guards: scheduling without a trace in the context must not
+// be slower than scheduling with one (which stamps phase timers around
+// every block), within a 3% noise allowance, min-of-K with retries.
+func TestTraceDisabledOverheadGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing guard skipped in -short")
+	}
+	model := spawn.MustLoad(spawn.UltraSPARC)
+	blocks := randomBlocks(rand.New(rand.NewSource(28)), 400)
+	s := New(model, Options{Workers: 1})
+	runOff := func() {
+		if _, err := s.ScheduleBlocks(blocks); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runOn := func() {
+		tr := obs.NewTrace("request")
+		if _, err := s.ScheduleBlocksCtx(obs.WithTrace(context.Background(), tr), blocks); err != nil {
+			t.Fatal(err)
+		}
+		tr.Finish()
+	}
+	runOff() // warm pools
+	runOn()
+	minOf := func(run func(), k int) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < k; i++ {
+			start := time.Now()
+			run()
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	const limit = 1.03
+	var ratio float64
+	for attempt := 0; attempt < 5; attempt++ {
+		off := minOf(runOff, 4)
+		on := minOf(runOn, 4)
+		ratio = float64(off) / float64(on)
+		if ratio < limit {
+			return
+		}
+	}
+	t.Fatalf("untraced scheduling is %.1f%% slower than traced — the nil path is doing work",
+		(ratio-1)*100)
+}
+
+// TestTraceEnabledOverheadGuard bounds the traced path: carrying a
+// request trace may cost at most 10% over untraced scheduling (ISSUE 10
+// acceptance: tracing adds <10% latency). The traced path adds four
+// monotonic-clock reads per block plus one span merge per batch.
+func TestTraceEnabledOverheadGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing guard skipped in -short")
+	}
+	model := spawn.MustLoad(spawn.UltraSPARC)
+	blocks := randomBlocks(rand.New(rand.NewSource(28)), 400)
+	s := New(model, Options{Workers: 1})
+	runOff := func() {
+		if _, err := s.ScheduleBlocks(blocks); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runOn := func() {
+		tr := obs.NewTrace("request")
+		if _, err := s.ScheduleBlocksCtx(obs.WithTrace(context.Background(), tr), blocks); err != nil {
+			t.Fatal(err)
+		}
+		tr.Finish()
+	}
+	runOff() // warm pools
+	runOn()
+	minOf := func(run func(), k int) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < k; i++ {
+			start := time.Now()
+			run()
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	const limit = 1.10
+	var ratio float64
+	for attempt := 0; attempt < 5; attempt++ {
+		off := minOf(runOff, 4)
+		on := minOf(runOn, 4)
+		ratio = float64(on) / float64(off)
+		if ratio < limit {
+			return
+		}
+	}
+	t.Fatalf("traced scheduling is %.1f%% slower than untraced, want < 10%%",
+		(ratio-1)*100)
+}

@@ -1,6 +1,8 @@
 package daemon
 
 import (
+	"context"
+	"strconv"
 	"time"
 
 	"eel/internal/core"
@@ -23,12 +25,19 @@ type batchKey struct {
 
 type batchReq struct {
 	blocks [][]sparc.Inst
-	resp   chan batchResp
+	// traceID links the member span in the batch trace back to the
+	// request trace ("" when the request is untraced).
+	traceID string
+	resp    chan batchResp
 }
 
 type batchResp struct {
 	blocks [][]sparc.Inst
-	err    error
+	// batchID is the batch trace's ID, noted on the request's
+	// batch.queue span so a request trace can be joined to the shared
+	// batch trace in the flight recorder ("" when tracing is off).
+	batchID string
+	err     error
 }
 
 type batcher struct {
@@ -38,6 +47,11 @@ type batcher struct {
 	window    time.Duration
 	maxBlocks int
 	reg       *obs.Registry
+	// Batch traces: each flushed batch becomes one kind="batch" trace
+	// in the flight recorder, with per-member spans linking back to the
+	// member requests' traces. nil flight + traceOn=false = untraced.
+	flight  *obs.Flight
+	traceOn bool
 }
 
 // batcherFor returns (starting if needed) the batcher for a model.
@@ -59,6 +73,8 @@ func (s *Server) batcherFor(model *spawn.Model) *batcher {
 		window:    s.cfg.BatchWindow,
 		maxBlocks: s.cfg.BatchMaxBlocks,
 		reg:       s.reg,
+		flight:    s.flight,
+		traceOn:   s.tracing(),
 	}
 	s.batchers[key] = b
 	s.batchWG.Add(1)
@@ -70,13 +86,18 @@ func (s *Server) batcherFor(model *spawn.Model) *batcher {
 }
 
 // scheduleBatched routes one request's blocks through the model's
-// batcher and waits for its slice of the batch result.
-func (s *Server) scheduleBatched(model *spawn.Model, blocks [][]sparc.Inst) ([][]sparc.Inst, error) {
+// batcher and waits for its slice of the batch result. The returned
+// batch ID identifies the shared batch trace the request rode in (""
+// when tracing is off).
+func (s *Server) scheduleBatched(ctx context.Context, model *spawn.Model, blocks [][]sparc.Inst) ([][]sparc.Inst, string, error) {
 	b := s.batcherFor(model)
 	req := batchReq{blocks: blocks, resp: make(chan batchResp, 1)}
+	if tr := obs.TraceFrom(ctx); tr != nil {
+		req.traceID = tr.ID()
+	}
 	b.ch <- req
 	r := <-req.resp
-	return r.blocks, r.err
+	return r.blocks, r.batchID, r.err
 }
 
 // stopBatchers shuts the batch loops down. Callers must guarantee no
@@ -104,8 +125,20 @@ func (b *batcher) loop() {
 			return
 		case first = <-b.ch:
 		}
+		// The batch trace starts at first arrival, so batch.gather
+		// measures the window spent waiting for co-travellers and each
+		// member span's start offset is its arrival time in the batch.
+		var (
+			bt       *obs.Trace
+			arrivals []int64
+		)
+		if b.traceOn {
+			bt = obs.NewTrace("batch")
+			arrivals = append(arrivals, 0)
+		}
 		reqs := []batchReq{first}
 		n := len(first.blocks)
+		gspan := bt.StartSpan("batch.gather")
 		timer := time.NewTimer(b.window)
 	gather:
 		for n < b.maxBlocks {
@@ -113,30 +146,74 @@ func (b *batcher) loop() {
 			case r := <-b.ch:
 				reqs = append(reqs, r)
 				n += len(r.blocks)
+				if bt != nil {
+					arrivals = append(arrivals, bt.SinceStart())
+				}
 			case <-timer.C:
 				break gather
 			}
 		}
 		timer.Stop()
+		gspan.End()
 
+		aspan := bt.StartSpan("batch.assemble")
 		flat := make([][]sparc.Inst, 0, n)
 		for _, r := range reqs {
 			flat = append(flat, r.blocks...)
 		}
-		out, err := b.sched.ScheduleBlocks(flat)
+		aspan.End()
+		sspan := bt.StartSpan("batch.schedule")
+		ctx := context.Background()
+		if bt != nil {
+			ctx = obs.WithTraceParent(ctx, bt, sspan.Idx())
+		}
+		out, err := b.sched.ScheduleBlocksCtx(ctx, flat)
+		sspan.End()
+
+		var batchID string
+		if bt != nil {
+			batchID = bt.ID()
+		}
 		if err != nil {
 			for _, r := range reqs {
-				r.resp <- batchResp{err: err}
+				r.resp <- batchResp{batchID: batchID, err: err}
 			}
+			b.finishTrace(bt, reqs, arrivals, n, err)
 			continue
 		}
 		off := 0
 		for _, r := range reqs {
-			r.resp <- batchResp{blocks: out[off : off+len(r.blocks)]}
+			r.resp <- batchResp{blocks: out[off : off+len(r.blocks)], batchID: batchID}
 			off += len(r.blocks)
 		}
+		b.finishTrace(bt, reqs, arrivals, n, nil)
 		b.reg.Counter("eeld.batches_total").Inc()
 		b.reg.Histogram("eeld.batch.requests", obs.ExpBuckets(1, 10)).Observe(int64(len(reqs)))
 		b.reg.Histogram("eeld.batch.blocks", obs.ExpBuckets(1, 14)).Observe(int64(n))
 	}
+}
+
+// finishTrace closes the batch trace: one top-level "member" span per
+// coalesced request, spanning its arrival offset to the batch's end and
+// linking back to the member's request trace, then records the trace in
+// the flight recorder.
+func (b *batcher) finishTrace(bt *obs.Trace, reqs []batchReq, arrivals []int64, blocks int, err error) {
+	if bt == nil {
+		return
+	}
+	end := bt.SinceStart()
+	for i, r := range reqs {
+		notes := []string{"blocks=" + strconv.Itoa(len(r.blocks))}
+		if r.traceID != "" {
+			notes = append(notes, "trace="+r.traceID)
+		}
+		bt.AddSpan("member", -1, arrivals[i], end-arrivals[i], notes...)
+	}
+	bt.Annotate("requests", strconv.Itoa(len(reqs)))
+	bt.Annotate("blocks", strconv.Itoa(blocks))
+	if err != nil {
+		bt.Anomaly = "error"
+	}
+	bt.Finish()
+	b.flight.Record(bt.Export())
 }

@@ -32,34 +32,36 @@ func (l *editorLRU) Len() int {
 	return len(l.m)
 }
 
-// open returns the cached Editor for an image, analyzing it on miss.
-// Analysis runs outside the lock, so concurrent first-opens of distinct
-// images don't serialize; a doubled first-open of the same image costs
-// one redundant analysis and keeps a single Editor.
-func (l *editorLRU) open(body []byte, cache *core.Cache) (*eel.Editor, error) {
+// open returns the cached Editor for an image, analyzing it on miss;
+// hit reports whether the cached analysis was reused (the request
+// trace's cache.lookup span notes it). Analysis runs outside the lock,
+// so concurrent first-opens of distinct images don't serialize; a
+// doubled first-open of the same image costs one redundant analysis and
+// keeps a single Editor.
+func (l *editorLRU) open(body []byte, cache *core.Cache) (ed *eel.Editor, hit bool, err error) {
 	key := sha256.Sum256(body)
 	l.mu.Lock()
 	if ed, ok := l.m[key]; ok {
 		l.touch(key)
 		l.mu.Unlock()
-		return ed, nil
+		return ed, true, nil
 	}
 	l.mu.Unlock()
 
 	x, err := exe.Unmarshal(body)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	ed, err := eel.OpenShared(x, cache)
+	ed, err = eel.OpenShared(x, cache)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if cached, ok := l.m[key]; ok { // lost the race; keep the first
 		l.touch(key)
-		return cached, nil
+		return cached, true, nil
 	}
 	l.m[key] = ed
 	l.order = append([][sha256.Size]byte{key}, l.order...)
@@ -72,7 +74,7 @@ func (l *editorLRU) open(body []byte, cache *core.Cache) (*eel.Editor, error) {
 		l.m[last].Close()
 		delete(l.m, last)
 	}
-	return ed, nil
+	return ed, false, nil
 }
 
 // touch moves a key to the MRU position. Caller holds l.mu.

@@ -75,6 +75,15 @@ type Config struct {
 	// an admitted request open — the CI drain test's hook. Never enable
 	// in production.
 	AllowTestDelay bool
+	// Flight, when non-nil, turns on request tracing and retains
+	// completed traces for GET /debug/flight (cmd/eeld -flight).
+	Flight *obs.Flight
+	// AccessLog, when non-nil, turns on request tracing and receives one
+	// TraceExport JSON line per completed request (cmd/eeld -log).
+	AccessLog *obs.JSONL
+	// SlowRequest, when > 0, marks requests slower than it as anomalous
+	// ("slow"), pinning them in the flight recorder's anomaly ring.
+	SlowRequest time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -109,6 +118,12 @@ type Server struct {
 
 	admission *admission
 
+	// Request tracing (nil = disabled: the hot path pays one pointer
+	// test in instrument and nothing else).
+	flight *obs.Flight
+	access *obs.JSONL
+	slow   time.Duration
+
 	modelMu sync.Mutex
 	models  map[spawn.Machine]*spawn.Model
 
@@ -134,6 +149,9 @@ func New(cfg Config) *Server {
 		models:    make(map[spawn.Machine]*spawn.Model),
 		editors:   newEditorLRU(cfg.EditorCap),
 		batchers:  make(map[batchKey]*batcher),
+		flight:    cfg.Flight,
+		access:    cfg.AccessLog,
+		slow:      cfg.SlowRequest,
 	}
 	if cfg.SpillPath != "" {
 		n, err := s.cache.LoadSpill(cfg.SpillPath, cfg.Fingerprint)
@@ -146,8 +164,12 @@ func New(cfg Config) *Server {
 	s.mux.Handle("GET /metrics", s.instrument("/metrics", s.handleMetrics))
 	s.mux.Handle("POST /v1/schedule", s.instrument("/v1/schedule", s.handleSchedule))
 	s.mux.Handle("POST /v1/edit", s.instrument("/v1/edit", s.handleEdit))
+	s.mux.Handle("GET /debug/flight", s.instrument("/debug/flight", s.handleFlight))
 	return s
 }
+
+// tracing reports whether request traces are being collected.
+func (s *Server) tracing() bool { return s.flight != nil || s.access != nil }
 
 // Cache exposes the shared schedule cache (stats reporting, tests).
 func (s *Server) Cache() *core.Cache { return s.cache }
@@ -155,10 +177,12 @@ func (s *Server) Cache() *core.Cache { return s.cache }
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// statusWriter records the response code for the request counter.
+// statusWriter records the response code and byte count for the request
+// counter and the access log.
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code  int
+	bytes int64
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -166,19 +190,61 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
 // instrument wraps a handler with the per-route request counter and
-// latency histogram. Counting happens after the handler returns, so
-// every exit path — including structured errors — lands in
-// eeld.requests_total{route,code}.
+// latency histogram, and — when tracing is on — the request trace's
+// whole lifecycle: created here, carried in the request context, and
+// after the handler returns finished, classified (error / quota / slow),
+// recorded in the flight recorder, written to the access log, and linked
+// into the latency histogram as the bucket's exemplar. Counting happens
+// after the handler returns, so every exit path — including structured
+// errors — lands in eeld.requests_total{route,code}.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		start := time.Now()
+		var tr *obs.Trace
+		if s.tracing() {
+			tr = obs.NewTrace("request")
+			tr.Route = route
+			tr.Tenant = tenantOf(r)
+			if r.ContentLength > 0 {
+				tr.BytesIn = r.ContentLength
+			}
+			r = r.WithContext(obs.WithTrace(r.Context(), tr))
+		}
 		h(sw, r)
+		lat := time.Since(start)
 		s.reg.Counter(obs.LabeledName("eeld.requests_total",
 			"route", route, "code", strconv.Itoa(sw.code))).Inc()
-		s.reg.Histogram(obs.LabeledName("eeld.request_micros", "route", route),
-			obs.ExpBuckets(50, 16)).Observe(time.Since(start).Microseconds())
+		hist := s.reg.Histogram(obs.LabeledName("eeld.request_micros", "route", route),
+			obs.ExpBuckets(50, 16))
+		if tr == nil {
+			hist.Observe(lat.Microseconds())
+			return
+		}
+		tr.Code = sw.code
+		tr.BytesOut = sw.bytes
+		switch {
+		case sw.code == http.StatusTooManyRequests:
+			tr.Anomaly = "quota"
+		case sw.code >= 400:
+			tr.Anomaly = "error"
+		case s.slow > 0 && lat > s.slow:
+			tr.Anomaly = "slow"
+		}
+		tr.Finish()
+		e := tr.Export()
+		s.flight.Record(e)
+		if err := s.access.Write(e); err != nil {
+			s.reg.Counter("eeld.access_log.errors").Inc()
+		}
+		hist.ObserveTraced(lat.Microseconds(), tr.ID())
 	})
 }
 
@@ -262,6 +328,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleFlight dumps the flight recorder as JSONL (one TraceExport per
+// line, schemas/trace.schema.json). 404 when tracing is disabled.
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	if s.flight == nil {
+		fail(w, http.StatusNotFound, "flight recorder disabled (start eeld with -flight)")
+		return
+	}
+	recorded, anomalous := s.flight.Stats()
+	s.reg.Gauge("eeld.flight.recorded").Set(recorded)
+	s.reg.Gauge("eeld.flight.anomalous").Set(anomalous)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if err := s.flight.WriteJSONL(w); err != nil {
+		s.reg.Counter("eeld.flight.dump_errors").Inc()
+	}
+}
+
 // snapshotGauges refreshes point-in-time gauges right before an export.
 func (s *Server) snapshotGauges() {
 	hits, misses := s.cache.Stats()
@@ -306,38 +388,37 @@ type scheduleResponse struct {
 // maxScheduleBody bounds a /v1/schedule request body (16 MiB of JSON).
 const maxScheduleBody = 16 << 20
 
-func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
-	release, code, msg := s.admission.admit(tenantOf(r), s.isDraining())
-	if code != 0 {
-		s.countReject(msg)
-		fail(w, code, "%s", msg)
-		return
-	}
-	defer release()
-	s.testDelay(r)
+// httpError carries a failure out of a decode helper along with the
+// status it maps to, so handlers can fail from one place per span.
+type httpError struct {
+	code int
+	msg  string
+}
 
+func httpErrorf(code int, format string, args ...any) *httpError {
+	return &httpError{code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+// decodeSchedule reads and validates a /v1/schedule body: the request
+// trace's req.decode span covers exactly this work.
+func (s *Server) decodeSchedule(r *http.Request) (*spawn.Model, [][]sparc.Inst, *httpError) {
 	var req scheduleRequest
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxScheduleBody+1))
 	if err != nil {
-		fail(w, http.StatusBadRequest, "reading body: %v", err)
-		return
+		return nil, nil, httpErrorf(http.StatusBadRequest, "reading body: %v", err)
 	}
 	if len(body) > maxScheduleBody {
-		fail(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", maxScheduleBody)
-		return
+		return nil, nil, httpErrorf(http.StatusRequestEntityTooLarge, "body exceeds %d bytes", maxScheduleBody)
 	}
 	if err := json.Unmarshal(body, &req); err != nil {
-		fail(w, http.StatusBadRequest, "parsing request: %v", err)
-		return
+		return nil, nil, httpErrorf(http.StatusBadRequest, "parsing request: %v", err)
 	}
 	if len(req.Blocks) == 0 {
-		fail(w, http.StatusBadRequest, "no blocks in request")
-		return
+		return nil, nil, httpErrorf(http.StatusBadRequest, "no blocks in request")
 	}
 	model, err := s.model(req.Machine)
 	if err != nil {
-		fail(w, http.StatusBadRequest, "machine: %v", err)
-		return
+		return nil, nil, httpErrorf(http.StatusBadRequest, "machine: %v", err)
 	}
 	blocks := make([][]sparc.Inst, len(req.Blocks))
 	for i, words := range req.Blocks {
@@ -345,19 +426,49 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		for j, word := range words {
 			inst, err := sparc.Decode(word)
 			if err != nil {
-				fail(w, http.StatusBadRequest, "block %d word %d: %v", i, j, err)
-				return
+				return nil, nil, httpErrorf(http.StatusBadRequest, "block %d word %d: %v", i, j, err)
 			}
 			block[j] = inst
 		}
 		blocks[i] = block
 	}
+	return model, blocks, nil
+}
 
-	scheduled, err := s.scheduleBatched(model, blocks)
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	tr := obs.TraceFrom(r.Context())
+	asp := tr.StartSpan("admit.wait")
+	release, code, msg := s.admission.admit(tenantOf(r), s.isDraining())
+	asp.End()
+	if code != 0 {
+		s.countReject(msg)
+		fail(w, code, "%s", msg)
+		return
+	}
+	defer release()
+
+	dsp := tr.StartSpan("req.decode")
+	s.testDelay(r)
+	model, blocks, herr := s.decodeSchedule(r)
+	dsp.End()
+	if herr != nil {
+		fail(w, herr.code, "%s", herr.msg)
+		return
+	}
+
+	qsp := tr.StartSpan("batch.queue")
+	scheduled, batchID, err := s.scheduleBatched(r.Context(), model, blocks)
+	if batchID != "" {
+		qsp.Note("batch", batchID)
+	}
+	qsp.End()
 	if err != nil {
 		fail(w, http.StatusUnprocessableEntity, "scheduling: %v", err)
 		return
 	}
+
+	esp := tr.StartSpan("respond.encode")
+	defer esp.End()
 	resp := scheduleResponse{Machine: string(model.Machine), Blocks: make([][]uint32, len(scheduled))}
 	for i, block := range scheduled {
 		words := make([]uint32, len(block))
@@ -378,39 +489,61 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 // maxEditBody bounds a /v1/edit request body (64 MiB image).
 const maxEditBody = 64 << 20
 
+// decodeEdit reads and validates a /v1/edit request: the request
+// trace's req.decode span covers exactly this work.
+func (s *Server) decodeEdit(r *http.Request) (op string, model *spawn.Model, body []byte, herr *httpError) {
+	q := r.URL.Query()
+	op = q.Get("op")
+	switch op {
+	case "", "reschedule", "instrument":
+	default:
+		return "", nil, nil, httpErrorf(http.StatusBadRequest, "unknown op %q (want reschedule or instrument)", op)
+	}
+	model, err := s.model(q.Get("machine"))
+	if err != nil {
+		return "", nil, nil, httpErrorf(http.StatusBadRequest, "machine: %v", err)
+	}
+	body, err = io.ReadAll(io.LimitReader(r.Body, maxEditBody+1))
+	if err != nil {
+		return "", nil, nil, httpErrorf(http.StatusBadRequest, "reading body: %v", err)
+	}
+	if len(body) > maxEditBody {
+		return "", nil, nil, httpErrorf(http.StatusRequestEntityTooLarge, "image exceeds %d bytes", maxEditBody)
+	}
+	return op, model, body, nil
+}
+
 func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request) {
+	tr := obs.TraceFrom(r.Context())
+	asp := tr.StartSpan("admit.wait")
 	release, code, msg := s.admission.admit(tenantOf(r), s.isDraining())
+	asp.End()
 	if code != 0 {
 		s.countReject(msg)
 		fail(w, code, "%s", msg)
 		return
 	}
 	defer release()
-	s.testDelay(r)
 
-	q := r.URL.Query()
-	op := q.Get("op")
-	switch op {
-	case "", "reschedule", "instrument":
-	default:
-		fail(w, http.StatusBadRequest, "unknown op %q (want reschedule or instrument)", op)
+	dsp := tr.StartSpan("req.decode")
+	s.testDelay(r)
+	op, model, body, herr := s.decodeEdit(r)
+	dsp.End()
+	if herr != nil {
+		fail(w, herr.code, "%s", herr.msg)
 		return
 	}
-	model, err := s.model(q.Get("machine"))
-	if err != nil {
-		fail(w, http.StatusBadRequest, "machine: %v", err)
-		return
+
+	csp := tr.StartSpan("cache.lookup")
+	ed, hit, err := s.editors.open(body, s.cache)
+	if err == nil {
+		if hit {
+			csp.Note("editor", "hit")
+		} else {
+			csp.Note("editor", "miss")
+		}
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxEditBody+1))
-	if err != nil {
-		fail(w, http.StatusBadRequest, "reading body: %v", err)
-		return
-	}
-	if len(body) > maxEditBody {
-		fail(w, http.StatusRequestEntityTooLarge, "image exceeds %d bytes", maxEditBody)
-		return
-	}
-	ed, err := s.editors.open(body, s.cache)
+	csp.End()
 	if err != nil {
 		fail(w, http.StatusBadRequest, "opening executable: %v", err)
 		return
@@ -429,11 +562,15 @@ func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request) {
 	if op == "instrument" || op == "" {
 		tool = &qpt.SlowProfiler{}
 	}
-	out, err := ed.Edit(tool, opts)
+	esp := tr.StartSpan("eel.edit")
+	out, err := ed.EditCtx(obs.WithTraceParent(r.Context(), tr, esp.Idx()), tool, opts)
+	esp.End()
 	if err != nil {
 		fail(w, http.StatusUnprocessableEntity, "edit: %v", err)
 		return
 	}
+	wsp := tr.StartSpan("respond.encode")
+	defer wsp.End()
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Write(out.Marshal())
 }

@@ -11,6 +11,7 @@
 package eel
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -132,6 +133,15 @@ type BlocksScheduler interface {
 	ScheduleBlocks(blocks [][]sparc.Inst) ([][]sparc.Inst, error)
 }
 
+// BlocksCtxScheduler is a BlocksScheduler that also accepts a context
+// carrying a request trace (core.Scheduler implements it). EditCtx
+// prefers this path so the scheduler's per-phase spans land under the
+// edit's eel.schedule span.
+type BlocksCtxScheduler interface {
+	BlocksScheduler
+	ScheduleBlocksCtx(ctx context.Context, blocks [][]sparc.Inst) ([][]sparc.Inst, error)
+}
+
 // Options configure an editing pass.
 type Options struct {
 	// Machine selects the scheduling model. Required when Schedule is set.
@@ -155,6 +165,16 @@ type Options struct {
 // optionally scheduled, the text is re-laid-out, and branch and call
 // displacements are re-encoded. The input executable is not modified.
 func (ed *Editor) Edit(tool Instrumenter, opts Options) (*exe.Exe, error) {
+	return ed.EditCtx(context.Background(), tool, opts)
+}
+
+// EditCtx is Edit with an optional request trace carried in ctx
+// (obs.WithTrace): the edit's phases are recorded as eel.instrument /
+// eel.schedule / eel.layout child spans, with the scheduler's own phase
+// spans nested under eel.schedule. The trace travels only through the
+// context — never through Options — so scheduler memoization
+// (schedulerFor) is unaffected by tracing.
+func (ed *Editor) EditCtx(ctx context.Context, tool Instrumenter, opts Options) (*exe.Exe, error) {
 	if opts.Schedule && opts.Machine == nil {
 		return nil, fmt.Errorf("eel: scheduling requested without a machine model")
 	}
@@ -196,13 +216,16 @@ func (ed *Editor) Edit(tool Instrumenter, opts Options) (*exe.Exe, error) {
 	}
 
 	// Phase spans land in the scheduler's registry when one is attached,
-	// so -metrics exports show where an edit's wall and CPU time went.
+	// so -metrics exports show where an edit's wall and CPU time went;
+	// the same phases land on the request trace when ctx carries one.
 	reg := opts.Sched.Obs
+	tr, parent := obs.TraceParentFrom(ctx)
 
 	// Pass 1a: rebuild each block's instruction sequence (instrumentation
 	// prepended), then schedule the whole batch — concurrently when the
 	// scheduler supports it.
 	span := reg.StartSpan("eel.instrument")
+	tspan := tr.StartChild("eel.instrument", parent)
 	blocks := make([][]sparc.Inst, len(ed.graph.Blocks))
 	for i, b := range ed.graph.Blocks {
 		block := append([]sparc.Inst(nil), b.Insts...)
@@ -214,9 +237,17 @@ func (ed *Editor) Edit(tool Instrumenter, opts Options) (*exe.Exe, error) {
 		blocks[i] = block
 	}
 	span.End()
+	tspan.End()
 	span = reg.StartSpan("eel.schedule")
+	tspan = tr.StartChild("eel.schedule", parent)
 	switch s := sched.(type) {
 	case nil:
+	case BlocksCtxScheduler:
+		scheduled, err := s.ScheduleBlocksCtx(obs.WithTraceParent(ctx, tr, tspan.Idx()), blocks)
+		if err != nil {
+			return nil, fmt.Errorf("eel: scheduling: %w", err)
+		}
+		blocks = scheduled
 	case BlocksScheduler:
 		scheduled, err := s.ScheduleBlocks(blocks)
 		if err != nil {
@@ -233,8 +264,11 @@ func (ed *Editor) Edit(tool Instrumenter, opts Options) (*exe.Exe, error) {
 		}
 	}
 	span.End()
+	tspan.End()
 	span = reg.StartSpan("eel.layout")
+	tspan = tr.StartChild("eel.layout", parent)
 	defer span.End()
+	defer tspan.End()
 
 	if _, err := ed.assemble(out, blocks, nil); err != nil {
 		return nil, err

@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -21,13 +22,60 @@ type Export struct {
 	Extras     map[string]json.RawMessage `json:"extras,omitempty"`
 }
 
-// HistogramExport is one histogram's JSON shape.
+// HistogramExport is one histogram's JSON shape. P50/P90/P99 are
+// estimated by linear interpolation within buckets (see Quantile);
+// Exemplars maps a bucket's upper bound (decimal, "+Inf" for overflow)
+// to the worst traced observation that landed there.
 type HistogramExport struct {
-	Bounds []int64 `json:"bounds"` // bucket upper bounds; counts has one extra overflow bucket
-	Counts []int64 `json:"counts"`
-	Count  int64   `json:"count"`
-	Sum    int64   `json:"sum"`
-	Max    int64   `json:"max"`
+	Bounds    []int64                   `json:"bounds"` // bucket upper bounds; counts has one extra overflow bucket
+	Counts    []int64                   `json:"counts"`
+	Count     int64                     `json:"count"`
+	Sum       int64                     `json:"sum"`
+	Max       int64                     `json:"max"`
+	P50       float64                   `json:"p50"`
+	P90       float64                   `json:"p90"`
+	P99       float64                   `json:"p99"`
+	Exemplars map[string]ExemplarExport `json:"exemplars,omitempty"`
+}
+
+// ExemplarExport is one bucket's worst traced observation.
+type ExemplarExport struct {
+	TraceID string `json:"trace_id"`
+	Value   int64  `json:"value"`
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) by linear
+// interpolation within the bucket holding the q*Count-th observation.
+// The first bucket interpolates up from zero; the overflow bucket
+// interpolates toward the observed maximum. With no observations it
+// returns 0.
+func (h HistogramExport) Quantile(q float64) float64 {
+	if h.Count <= 0 || len(h.Counts) == 0 {
+		return 0
+	}
+	rank := q * float64(h.Count)
+	cum, lo := 0.0, 0.0
+	for i, b := range h.Bounds {
+		c := float64(h.Counts[i])
+		if c > 0 && cum+c >= rank {
+			return lo + (float64(b)-lo)*(rank-cum)/c
+		}
+		cum += c
+		lo = float64(b)
+	}
+	c := float64(h.Counts[len(h.Counts)-1])
+	if c <= 0 {
+		return lo
+	}
+	hi := float64(h.Max)
+	if hi < lo {
+		hi = lo
+	}
+	f := (rank - cum) / c
+	if f > 1 {
+		f = 1
+	}
+	return lo + (hi-lo)*f
 }
 
 // Snapshot assembles the full export document.
@@ -49,13 +97,31 @@ func (r *Registry) Snapshot() *Export {
 		e.Histograms = make(map[string]HistogramExport, len(r.hists))
 		for name, h := range r.hists {
 			bounds, counts := h.Snapshot()
-			e.Histograms[name] = HistogramExport{
+			he := HistogramExport{
 				Bounds: bounds,
 				Counts: counts,
 				Count:  h.Count(),
 				Sum:    h.Sum(),
 				Max:    h.max.Load(),
 			}
+			he.P50 = he.Quantile(0.50)
+			he.P90 = he.Quantile(0.90)
+			he.P99 = he.Quantile(0.99)
+			for i := range h.exemplars {
+				ex := h.exemplars[i].Load()
+				if ex == nil {
+					continue
+				}
+				if he.Exemplars == nil {
+					he.Exemplars = make(map[string]ExemplarExport)
+				}
+				le := "+Inf"
+				if i < len(bounds) {
+					le = strconv.FormatInt(bounds[i], 10)
+				}
+				he.Exemplars[le] = ExemplarExport{TraceID: ex.id, Value: ex.val}
+			}
+			e.Histograms[name] = he
 		}
 	}
 	extras := make(map[string]any, len(r.extras))
@@ -104,20 +170,67 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 	writeFamilies(&b, "counter", e.Counters)
 	writeFamilies(&b, "gauge", e.Gauges)
-	for _, name := range sortedKeys(e.Histograms) {
-		h := e.Histograms[name]
-		n := promName(name)
-		fmt.Fprintf(&b, "# TYPE %s histogram\n", n)
-		cum := int64(0)
-		for i, bound := range h.Bounds {
-			cum += h.Counts[i]
-			fmt.Fprintf(&b, "%s_bucket{le=\"%d\"} %d\n", n, bound, cum)
-		}
-		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count)
-		fmt.Fprintf(&b, "%s_sum %d\n%s_count %d\n", n, h.Sum, n, h.Count)
-	}
+	writeHistograms(&b, e.Histograms)
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// writeHistograms renders histograms grouped by family, merging the
+// bucket's le label into any label block the instrument already carries
+// (so eeld.request_micros{route="/v1/schedule"} becomes
+// eeld_request_micros_bucket{route="/v1/schedule",le="..."}). Bucket
+// lines carry OpenMetrics-style exemplars linking to trace IDs, and
+// each family is followed by _p50/_p90/_p99 gauge families with the
+// interpolated quantile estimates.
+func writeHistograms(b *strings.Builder, hists map[string]HistogramExport) {
+	byFamily := make(map[string][]string)
+	for name := range hists {
+		fam, _ := SplitLabels(name)
+		byFamily[promName(fam)] = append(byFamily[promName(fam)], name)
+	}
+	for _, fam := range sortedKeys(byFamily) {
+		names := byFamily[fam]
+		sort.Strings(names)
+		fmt.Fprintf(b, "# TYPE %s histogram\n", fam)
+		for _, name := range names {
+			h := hists[name]
+			_, labels := SplitLabels(name)
+			withLe := func(le string) string {
+				if labels == "" {
+					return `{le="` + le + `"}`
+				}
+				return labels[:len(labels)-1] + `,le="` + le + `"}`
+			}
+			writeBucket := func(le string, cum int64) {
+				fmt.Fprintf(b, "%s_bucket%s %d", fam, withLe(le), cum)
+				if ex, ok := h.Exemplars[le]; ok {
+					fmt.Fprintf(b, " # {trace_id=\"%s\"} %d", escapeLabelValue(ex.TraceID), ex.Value)
+				}
+				b.WriteByte('\n')
+			}
+			cum := int64(0)
+			for i, bound := range h.Bounds {
+				cum += h.Counts[i]
+				writeBucket(strconv.FormatInt(bound, 10), cum)
+			}
+			writeBucket("+Inf", h.Count)
+			fmt.Fprintf(b, "%s_sum%s %d\n%s_count%s %d\n", fam, labels, h.Sum, fam, labels, h.Count)
+		}
+		for _, q := range []struct {
+			suffix string
+			v      func(HistogramExport) float64
+		}{
+			{"_p50", func(h HistogramExport) float64 { return h.P50 }},
+			{"_p90", func(h HistogramExport) float64 { return h.P90 }},
+			{"_p99", func(h HistogramExport) float64 { return h.P99 }},
+		} {
+			fmt.Fprintf(b, "# TYPE %s%s gauge\n", fam, q.suffix)
+			for _, name := range names {
+				_, labels := SplitLabels(name)
+				fmt.Fprintf(b, "%s%s%s %g\n", fam, q.suffix, labels, q.v(hists[name]))
+			}
+		}
+	}
 }
 
 // WriteFile writes the snapshot to path, picking the format from the
@@ -165,7 +278,9 @@ func writeFamilies(b *strings.Builder, typ string, series map[string]int64) {
 // `eeld.requests_total{code="429"}`. The JSON exporter keeps the name
 // verbatim; the Prometheus exporter splits it back into one series per
 // label set under a single family. Pairs are key, value, key, value...;
-// label values are quote- and backslash-escaped.
+// label values are escaped per the Prometheus text format (backslash,
+// quote, newline), so values containing `=`, `,` or quotes round-trip
+// through ParseLabeledName.
 func LabeledName(base string, pairs ...string) string {
 	if len(pairs) == 0 || len(pairs)%2 != 0 {
 		return base
@@ -179,12 +294,32 @@ func LabeledName(base string, pairs ...string) string {
 		}
 		b.WriteString(promName(pairs[i]))
 		b.WriteString("=\"")
-		v := strings.ReplaceAll(pairs[i+1], `\`, `\\`)
-		v = strings.ReplaceAll(v, `"`, `\"`)
-		b.WriteString(v)
+		b.WriteString(escapeLabelValue(pairs[i+1]))
 		b.WriteByte('"')
 	}
 	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the Prometheus text
+// exposition format: backslash, double quote, and line feed.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
 	return b.String()
 }
 
@@ -195,6 +330,69 @@ func SplitLabels(name string) (family, labels string) {
 		return name[:i], name[i:]
 	}
 	return name, ""
+}
+
+// ParseLabeledName is the inverse of LabeledName: it splits an
+// instrument name into its family and its label pairs (key, value, key,
+// value...) with escaping undone. Malformed label blocks return an
+// error so callers don't silently mis-split values containing `=`, `,`
+// or quotes.
+func ParseLabeledName(name string) (family string, pairs []string, err error) {
+	family, labels := SplitLabels(name)
+	if labels == "" {
+		return family, nil, nil
+	}
+	if len(labels) < 2 || labels[0] != '{' || labels[len(labels)-1] != '}' {
+		return "", nil, fmt.Errorf("obs: malformed label block %q", labels)
+	}
+	s := labels[1 : len(labels)-1]
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 || len(s) < eq+2 || s[eq+1] != '"' {
+			return "", nil, fmt.Errorf("obs: malformed label pair in %q", labels)
+		}
+		key := s[:eq]
+		rest := s[eq+2:] // inside the opening quote
+		var val strings.Builder
+		i := 0
+		for {
+			if i >= len(rest) {
+				return "", nil, fmt.Errorf("obs: unterminated label value in %q", labels)
+			}
+			c := rest[i]
+			if c == '"' {
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(rest) {
+					return "", nil, fmt.Errorf("obs: dangling escape in %q", labels)
+				}
+				switch rest[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return "", nil, fmt.Errorf("obs: bad escape \\%c in %q", rest[i+1], labels)
+				}
+				i += 2
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		pairs = append(pairs, key, val.String())
+		s = rest[i+1:]
+		if len(s) > 0 {
+			if s[0] != ',' {
+				return "", nil, fmt.Errorf("obs: expected ',' between labels in %q", labels)
+			}
+			s = s[1:]
+		}
+	}
+	return family, pairs, nil
 }
 
 // promName rewrites a dotted instrument name into a Prometheus metric

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"io"
+	"sort"
+	"sync"
+)
+
+// Flight is the daemon's flight recorder: a fixed-size ring of the last
+// N completed traces plus a separate, larger ring of anomalous ones
+// (errors, quota rejections, over-threshold latency), so a burst of
+// healthy traffic cannot evict the one trace that explains an incident.
+// A nil *Flight is the disabled state; Record on nil is a no-op.
+type Flight struct {
+	mu       sync.Mutex
+	recent   []*TraceExport // ring, cap = N
+	rNext    int
+	anom     []*TraceExport // ring, cap = 4N
+	aNext    int
+	recorded int64
+	anomRec  int64
+}
+
+// NewFlight returns a recorder retaining the last n completed traces
+// and up to 4n anomalous ones. n <= 0 returns nil (disabled).
+func NewFlight(n int) *Flight {
+	if n <= 0 {
+		return nil
+	}
+	return &Flight{
+		recent: make([]*TraceExport, 0, n),
+		anom:   make([]*TraceExport, 0, 4*n),
+	}
+}
+
+// Record stores one finished trace. Anomalous traces (Anomaly != "") go
+// to the anomaly ring only; everything else rotates through the recent
+// ring.
+func (f *Flight) Record(e *TraceExport) {
+	if f == nil || e == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.recorded++
+	if e.Anomaly != "" {
+		f.anomRec++
+		if len(f.anom) < cap(f.anom) {
+			f.anom = append(f.anom, e)
+		} else {
+			f.anom[f.aNext] = e
+			f.aNext = (f.aNext + 1) % cap(f.anom)
+		}
+		return
+	}
+	if len(f.recent) < cap(f.recent) {
+		f.recent = append(f.recent, e)
+	} else {
+		f.recent[f.rNext] = e
+		f.rNext = (f.rNext + 1) % cap(f.recent)
+	}
+}
+
+// Stats returns how many traces were recorded in total and how many of
+// those were anomalous (both monotonic, unaffected by ring eviction).
+func (f *Flight) Stats() (recorded, anomalous int64) {
+	if f == nil {
+		return 0, 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.recorded, f.anomRec
+}
+
+// Snapshot returns the retained traces, both rings merged, ordered by
+// trace start time.
+func (f *Flight) Snapshot() []*TraceExport {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	out := make([]*TraceExport, 0, len(f.recent)+len(f.anom))
+	out = append(out, f.recent...)
+	out = append(out, f.anom...)
+	f.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].StartUnixNs < out[j].StartUnixNs })
+	return out
+}
+
+// WriteJSONL dumps the retained traces as JSON lines — the body of the
+// daemon's GET /debug/flight and the shape schemas/trace.schema.json
+// validates per line.
+func (f *Flight) WriteJSONL(w io.Writer) error {
+	j := NewJSONL(w)
+	for _, e := range f.Snapshot() {
+		if err := j.Write(e); err != nil {
+			return err
+		}
+	}
+	return j.Close()
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func flightTrace(i int, anomaly string) *TraceExport {
+	return &TraceExport{
+		TraceID:     fmt.Sprintf("t%04d", i),
+		Kind:        "request",
+		StartUnixNs: int64(i),
+		WallNs:      1000,
+		Anomaly:     anomaly,
+		Spans:       []TraceSpan{{Name: "admit.wait", Parent: -1, DurNs: 1000}},
+	}
+}
+
+// TestFlightRingEviction: the recent ring keeps exactly the last N
+// healthy traces in start order.
+func TestFlightRingEviction(t *testing.T) {
+	f := NewFlight(4)
+	for i := 0; i < 10; i++ {
+		f.Record(flightTrace(i, ""))
+	}
+	got := f.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("retained %d traces, want 4", len(got))
+	}
+	for i, e := range got {
+		if want := fmt.Sprintf("t%04d", 6+i); e.TraceID != want {
+			t.Fatalf("slot %d = %s, want %s", i, e.TraceID, want)
+		}
+	}
+	if rec, anom := f.Stats(); rec != 10 || anom != 0 {
+		t.Fatalf("stats = %d, %d", rec, anom)
+	}
+}
+
+// TestFlightAnomalyRetention: a flood of healthy traffic must not evict
+// anomalous traces — they live in their own, larger ring.
+func TestFlightAnomalyRetention(t *testing.T) {
+	f := NewFlight(2)
+	f.Record(flightTrace(0, "error"))
+	f.Record(flightTrace(1, "quota"))
+	f.Record(flightTrace(2, "slow"))
+	for i := 10; i < 300; i++ {
+		f.Record(flightTrace(i, ""))
+	}
+	var anomalies []string
+	for _, e := range f.Snapshot() {
+		if e.Anomaly != "" {
+			anomalies = append(anomalies, e.Anomaly)
+		}
+	}
+	if len(anomalies) != 3 {
+		t.Fatalf("anomalies retained = %v, want 3", anomalies)
+	}
+	if rec, anom := f.Stats(); rec != 293 || anom != 3 {
+		t.Fatalf("stats = %d, %d", rec, anom)
+	}
+	// The anomaly ring itself still rotates once full (cap 4N = 8).
+	for i := 0; i < 20; i++ {
+		f.Record(flightTrace(1000+i, "error"))
+	}
+	count := 0
+	for _, e := range f.Snapshot() {
+		if e.Anomaly != "" {
+			count++
+		}
+	}
+	if count != 8 {
+		t.Fatalf("anomaly ring holds %d, want cap 8", count)
+	}
+}
+
+func TestFlightDisabledAndNil(t *testing.T) {
+	if NewFlight(0) != nil {
+		t.Fatal("NewFlight(0) should disable")
+	}
+	var f *Flight
+	f.Record(flightTrace(0, ""))
+	if f.Snapshot() != nil {
+		t.Fatal("nil flight snapshot")
+	}
+	if rec, anom := f.Stats(); rec != 0 || anom != 0 {
+		t.Fatal("nil flight stats")
+	}
+	var sb strings.Builder
+	if err := f.WriteJSONL(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil flight dump: %v %q", err, sb.String())
+	}
+}
+
+// TestFlightWriteJSONL: every dump line is complete JSON decoding back
+// to a TraceExport, ordered by start time.
+func TestFlightWriteJSONL(t *testing.T) {
+	f := NewFlight(8)
+	f.Record(flightTrace(3, ""))
+	f.Record(flightTrace(1, "error"))
+	f.Record(flightTrace(2, ""))
+	var sb strings.Builder
+	if err := f.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatal("dump does not end in newline")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("dump has %d lines, want 3", len(lines))
+	}
+	var prev int64 = -1
+	for _, line := range lines {
+		var e TraceExport
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("bad line %q: %v", line, err)
+		}
+		if e.StartUnixNs < prev {
+			t.Fatalf("dump out of order: %d after %d", e.StartUnixNs, prev)
+		}
+		prev = e.StartUnixNs
+	}
+}

@@ -137,11 +137,19 @@ func (r *Registry) Gauge(name string) *Gauge {
 // Bounds are set at registration and never change, so observations are
 // a binary search plus one atomic add. A nil *Histogram is a no-op.
 type Histogram struct {
-	bounds []int64 // ascending upper bounds; len(counts) = len(bounds)+1
-	counts []atomic.Int64
-	count  atomic.Int64
-	sum    atomic.Int64
-	max    atomic.Int64
+	bounds    []int64 // ascending upper bounds; len(counts) = len(bounds)+1
+	counts    []atomic.Int64
+	count     atomic.Int64
+	sum       atomic.Int64
+	max       atomic.Int64
+	exemplars []atomic.Pointer[exemplar] // worst observation per bucket
+}
+
+// exemplar remembers the worst observation that landed in a bucket and
+// the trace that caused it, linking /metrics into the flight recorder.
+type exemplar struct {
+	val int64
+	id  string
 }
 
 // Observe records one value.
@@ -157,6 +165,28 @@ func (h *Histogram) Observe(v int64) {
 		m := h.max.Load()
 		if v <= m || h.max.CompareAndSwap(m, v) {
 			break
+		}
+	}
+}
+
+// ObserveTraced records one value and, when traceID is non-empty, keeps
+// it as the bucket's exemplar if it is the worst value seen there.
+func (h *Histogram) ObserveTraced(v int64, traceID string) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= v })
+	for {
+		cur := h.exemplars[i].Load()
+		if cur != nil && cur.val >= v {
+			return
+		}
+		if h.exemplars[i].CompareAndSwap(cur, &exemplar{val: v, id: traceID}) {
+			return
 		}
 	}
 }
@@ -203,8 +233,9 @@ func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
 	h := r.hists[name]
 	if h == nil {
 		h = &Histogram{
-			bounds: append([]int64(nil), bounds...),
-			counts: make([]atomic.Int64, len(bounds)+1),
+			bounds:    append([]int64(nil), bounds...),
+			counts:    make([]atomic.Int64, len(bounds)+1),
+			exemplars: make([]atomic.Pointer[exemplar], len(bounds)+1),
 		}
 		r.hists[name] = h
 	}

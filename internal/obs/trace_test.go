@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceSpanTree(t *testing.T) {
+	tr := NewTrace("request")
+	if tr.ID() == "" || len(tr.ID()) != 16 {
+		t.Fatalf("trace ID = %q", tr.ID())
+	}
+	tr.Route, tr.Tenant, tr.Code = "/v1/schedule", "acme", 200
+	tr.BytesIn, tr.BytesOut = 100, 200
+
+	admit := tr.StartSpan("admit.wait")
+	time.Sleep(time.Millisecond)
+	admit.End()
+	q := tr.StartSpan("batch.queue")
+	q.Note("batch", "deadbeef")
+	child := tr.StartChild("sched.depgraph", q.Idx())
+	time.Sleep(time.Millisecond)
+	child.End()
+	q.End()
+	tr.Annotate("requests", "1")
+	tr.Finish()
+
+	e := tr.Export()
+	if e.TraceID != tr.ID() || e.Kind != "request" || e.Route != "/v1/schedule" ||
+		e.Tenant != "acme" || e.Code != 200 || e.BytesIn != 100 || e.BytesOut != 200 {
+		t.Fatalf("export metadata: %+v", e)
+	}
+	if len(e.Spans) != 3 || e.Dropped != 0 {
+		t.Fatalf("spans = %d, dropped = %d", len(e.Spans), e.Dropped)
+	}
+	if e.Spans[0].Name != "admit.wait" || e.Spans[0].Parent != -1 {
+		t.Fatalf("span 0: %+v", e.Spans[0])
+	}
+	if e.Spans[2].Name != "sched.depgraph" || e.Spans[2].Parent != 1 {
+		t.Fatalf("child parenting: %+v", e.Spans[2])
+	}
+	if got := e.Spans[1].Notes; len(got) != 1 || got[0] != "batch=deadbeef" {
+		t.Fatalf("notes: %v", got)
+	}
+	if len(e.Annots) != 1 || e.Annots[0] != "requests=1" {
+		t.Fatalf("annotations: %v", e.Annots)
+	}
+	if e.WallNs <= 0 || e.Spans[0].DurNs <= 0 {
+		t.Fatalf("durations not recorded: wall=%d span=%d", e.WallNs, e.Spans[0].DurNs)
+	}
+	// Top-level sum excludes the nested child.
+	if sum := e.TopSpanNs(); sum != e.Spans[0].DurNs+e.Spans[1].DurNs {
+		t.Fatalf("TopSpanNs = %d", sum)
+	}
+	// Finish is first-call-wins.
+	w := e.WallNs
+	time.Sleep(time.Millisecond)
+	tr.Finish()
+	if tr.WallNs() != w {
+		t.Fatalf("second Finish re-stamped wall: %d != %d", tr.WallNs(), w)
+	}
+}
+
+// TestTraceNilSafe: the disabled state is a nil *Trace and every method
+// must be a no-op, mirroring the registry's disabled-is-nil contract.
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	if tr.ID() != "" || tr.SinceStart() != 0 || tr.WallNs() != 0 {
+		t.Fatal("nil trace leaked values")
+	}
+	sp := tr.StartSpan("x")
+	sp.Note("k", "v")
+	sp.End()
+	if sp.Idx() != -1 {
+		t.Fatal("nil span has an index")
+	}
+	tr.AddSpan("y", -1, 0, 1)
+	tr.Annotate("k", "v")
+	tr.Finish()
+	if tr.Export() != nil {
+		t.Fatal("nil trace exported")
+	}
+	var e *TraceExport
+	if e.TopSpanNs() != 0 {
+		t.Fatal("nil export summed")
+	}
+}
+
+// TestTraceOverflowCounted: appends past MaxTraceSpans are dropped but
+// counted, and handles to dropped spans are inert.
+func TestTraceOverflowCounted(t *testing.T) {
+	tr := NewTrace("request")
+	for i := 0; i < MaxTraceSpans+5; i++ {
+		sp := tr.StartSpan(fmt.Sprintf("s%d", i))
+		sp.Note("i", "x") // must not panic on dropped handles
+		sp.End()
+	}
+	tr.Finish()
+	e := tr.Export()
+	if len(e.Spans) != MaxTraceSpans || e.Dropped != 5 {
+		t.Fatalf("spans=%d dropped=%d", len(e.Spans), e.Dropped)
+	}
+}
+
+// TestTraceConcurrentAppend: span reservation is lock-free; concurrent
+// appenders (run under -race in CI) must each get a private slot.
+func TestTraceConcurrentAppend(t *testing.T) {
+	tr := NewTrace("batch")
+	var wg sync.WaitGroup
+	const per = 4
+	workers := MaxTraceSpans / per
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				sp := tr.StartSpan(fmt.Sprintf("w%d.%d", w, i))
+				sp.Note("w", fmt.Sprint(w))
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	tr.Finish()
+	e := tr.Export()
+	if len(e.Spans) != workers*per || e.Dropped != 0 {
+		t.Fatalf("spans=%d dropped=%d", len(e.Spans), e.Dropped)
+	}
+	seen := map[string]bool{}
+	for _, sp := range e.Spans {
+		if sp.Name == "" || seen[sp.Name] {
+			t.Fatalf("corrupt or duplicate span %q", sp.Name)
+		}
+		seen[sp.Name] = true
+	}
+}
+
+func TestTraceContext(t *testing.T) {
+	if tr, p := TraceParentFrom(context.Background()); tr != nil || p != -1 {
+		t.Fatal("empty context carried a trace")
+	}
+	if TraceFrom(nil) != nil {
+		t.Fatal("nil context carried a trace")
+	}
+	tr := NewTrace("request")
+	ctx := WithTrace(context.Background(), tr)
+	if got := TraceFrom(ctx); got != tr {
+		t.Fatal("trace did not round-trip")
+	}
+	sp := tr.StartSpan("eel.schedule")
+	ctx = WithTraceParent(ctx, tr, sp.Idx())
+	got, parent := TraceParentFrom(ctx)
+	if got != tr || parent != sp.Idx() {
+		t.Fatalf("parent = %d, want %d", parent, sp.Idx())
+	}
+	// Attaching a nil trace leaves the context unchanged.
+	if ctx2 := WithTrace(context.Background(), nil); TraceFrom(ctx2) != nil {
+		t.Fatal("nil trace attached")
+	}
+}
+
+// TestTraceExportMatchesCommittedSchema validates a live TraceExport
+// line against schemas/trace.schema.json, so the exporter and the
+// schema CI validates /debug/flight with cannot drift apart.
+func TestTraceExportMatchesCommittedSchema(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "schemas", "trace.schema.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ParseSchema(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTrace("request")
+	tr.Route, tr.Tenant, tr.Code, tr.Anomaly = "/v1/schedule", "acme", 200, "slow"
+	tr.BytesIn, tr.BytesOut = 10, 20
+	sp := tr.StartSpan("batch.queue")
+	sp.Note("batch", "deadbeef")
+	tr.StartChild("sched.ready", sp.Idx()).End()
+	sp.End()
+	tr.Annotate("k", "v")
+	tr.Finish()
+	var sb strings.Builder
+	j := NewJSONL(&sb)
+	if err := j.Write(tr.Export()); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(sb.String()), "\n") {
+		if errs := s.Validate([]byte(line)); len(errs) > 0 {
+			t.Fatalf("trace line violates committed schema: %v\n%s", errs, line)
+		}
+	}
+	// And the round-trip decodes back.
+	var e TraceExport
+	if err := json.Unmarshal([]byte(strings.TrimSpace(sb.String())), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.TraceID != tr.ID() || len(e.Spans) != 2 {
+		t.Fatalf("round-trip: %+v", e)
+	}
+}
